@@ -1,0 +1,65 @@
+"""Ablation: iteration count for the iterative schedulers.
+
+The paper fixes 4 iterations for pim / lcf_dist / lcf_dist_rr
+(Section 6.3) and argues O(log2 n) iterations suffice (Section 6.2) —
+log2(16) = 4. This ablation sweeps the iteration count at high load and
+shows (a) latency improves steeply from 1 to ~log2 n iterations and
+(b) saturates beyond, justifying the paper's choice.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_CONFIG, once
+from repro.analysis.tables import format_table
+from repro.sim.simulator import run_simulation
+
+ITERATION_GRID = (1, 2, 3, 4, 6, 8)
+LOAD = 0.9
+
+
+def _latency(name: str, iterations: int) -> float:
+    config = BENCH_CONFIG.with_(iterations=iterations)
+    return run_simulation(config, name, LOAD).mean_latency
+
+
+def test_iteration_ablation(benchmark):
+    def report():
+        rows = []
+        for iterations in ITERATION_GRID:
+            rows.append(
+                {
+                    "iterations": iterations,
+                    "lcf_dist": round(_latency("lcf_dist", iterations), 2),
+                    "pim": round(_latency("pim", iterations), 2),
+                    "islip": round(_latency("islip", iterations), 2),
+                }
+            )
+        print(f"\nAblation: latency vs iteration count (load {LOAD}, n=16)")
+        print(format_table(rows))
+        return rows
+
+    rows = once(benchmark, report)
+    by_iter = {row["iterations"]: row for row in rows}
+    log2n = int(math.log2(BENCH_CONFIG.n_ports))
+
+    for name in ("lcf_dist", "pim"):
+        # (a) more iterations help a lot initially...
+        assert by_iter[1][name] > by_iter[log2n][name]
+        # (b) ...but saturate: doubling beyond log2 n buys < 20%.
+        assert by_iter[2 * log2n][name] > 0.8 * by_iter[log2n][name]
+
+
+def test_one_iteration_lcf_beats_one_iteration_pim(benchmark):
+    """With a single iteration the least-choice priorities matter most —
+    PIM wastes grants on contested inputs, LCF does not."""
+
+    def measure():
+        lcf = _latency("lcf_dist", 1)
+        pim = _latency("pim", 1)
+        print(f"\n1-iteration latency at load {LOAD}: lcf_dist={lcf:.2f} pim={pim:.2f}")
+        return lcf, pim
+
+    lcf, pim = once(benchmark, measure)
+    assert lcf < pim

@@ -1,0 +1,69 @@
+"""Experiment sec62: communication cost and time complexity of central
+versus distributed scheduling (Section 6.2, Figure 10).
+
+Regenerates the bit-count comparison ``n(n+log2 n+1)`` versus
+``i n^2 (2 log2 n + 3)`` over a range of switch widths, and the O(n)
+versus O(log2 n) time-step comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.analysis.tables import format_table
+from repro.hw.comm import central_bits, comm_table, distributed_bits
+from repro.hw.timing import (
+    central_time_steps,
+    distributed_time_steps,
+    speedup_distributed_over_central,
+)
+
+
+def test_communication_cost_table(benchmark):
+    def report():
+        rows = comm_table(iterations=4)
+        print("\nSection 6.2: bits exchanged per scheduling cycle (i = 4)")
+        print(format_table(rows))
+        return rows
+
+    rows = once(benchmark, report)
+    by_n = {row["n"]: row for row in rows}
+    # The paper's n=16 values.
+    assert by_n[16]["central_bits"] == 336
+    assert by_n[16]["distributed_bits"] == 11264
+    # The distributed scheme is always the more communication-hungry one.
+    assert all(row["ratio"] > 1 for row in rows)
+
+
+def test_speed_comparison_table(benchmark):
+    def report():
+        rows = []
+        for n in (4, 16, 64, 256, 1024):
+            rows.append(
+                {
+                    "n": n,
+                    "central_steps (O(n))": central_time_steps(n),
+                    "distributed_steps (O(log2 n))": distributed_time_steps(n),
+                    "speedup": round(speedup_distributed_over_central(n), 1),
+                }
+            )
+        print("\nSection 6.2: scheduling time steps, central vs distributed")
+        print(format_table(rows))
+        return rows
+
+    rows = once(benchmark, report)
+    speedups = [row["speedup"] for row in rows]
+    assert speedups == sorted(speedups)  # the gap widens with n
+
+
+def test_crossover_never_happens(benchmark):
+    """The communication advantage of the central scheduler holds at
+    every width — the trade is speed, not bits."""
+
+    def scan():
+        return [
+            (n, distributed_bits(n, 1) / central_bits(n))
+            for n in (2, 4, 8, 16, 64, 256, 1024, 4096)
+        ]
+
+    ratios = once(benchmark, scan)
+    assert all(ratio > 1.0 for _, ratio in ratios)

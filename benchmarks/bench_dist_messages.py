@@ -1,0 +1,73 @@
+"""Experiment sec62-measured: actual wire traffic of the distributed
+scheduler versus the Section 6.2 budget.
+
+The paper's ``i n^2 (2 log2 n + 3)`` counts the *wiring capacity* of
+Figure 10b — every pair, every iteration. The message-passing agent
+implementation measures what actually crosses the wires per scheduling
+cycle as load varies: requests dominate and scale with backlog; grants
+and accepts are capped at n per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.analysis.tables import format_table
+from repro.core.lcf_dist_agents import LCFDistributedAgents
+from repro.hw.comm import central_bits, distributed_bits
+
+N = 16
+ITERATIONS = 4
+
+
+def test_measured_traffic_vs_budget(benchmark):
+    def report():
+        rng = np.random.default_rng(7)
+        agents = LCFDistributedAgents(N, ITERATIONS)
+        budget = distributed_bits(N, ITERATIONS)
+        rows = []
+        for density in (0.1, 0.3, 0.5, 0.8, 1.0):
+            bits_samples = []
+            messages = None
+            for _ in range(50):
+                requests = rng.random((N, N)) < density
+                agents.schedule(requests)
+                bits_samples.append(agents.last_message_log.total_bits)
+                messages = agents.last_message_log
+            rows.append(
+                {
+                    "density": density,
+                    "mean_bits": round(float(np.mean(bits_samples)), 1),
+                    "budget_bits": budget,
+                    "utilisation": f"{np.mean(bits_samples) / budget:.0%}",
+                    "req/gnt/acc (last)": (
+                        f"{messages.requests}/{messages.grants}/{messages.accepts}"
+                    ),
+                }
+            )
+        print(
+            f"\nDistributed LCF wire traffic (n={N}, i={ITERATIONS}); "
+            f"central scheduler for comparison: {central_bits(N)} bits/cycle"
+        )
+        print(format_table(rows))
+        return rows, budget
+
+    rows, budget = once(benchmark, report)
+    means = [row["mean_bits"] for row in rows]
+    # Traffic always fits the Section 6.2 budget.
+    assert all(m <= budget for m in means)
+    # It grows with backlog through the low-to-mid range. (It is NOT
+    # monotone to density 1.0: with every nrq equal the pointer ties
+    # spread the grants, convergence speeds up, and the request floods
+    # stop earlier — the peak sits near density 0.8.)
+    assert means[0] < means[1] < means[2] < means[3]
+    # Any real backlog outweighs the central scheme's n(n+log2 n+1)
+    # bits — the Section 6.2 conclusion.
+    assert all(m > central_bits(N) for m in means[1:])
+
+
+def test_agents_scheduling_speed(benchmark, dense_requests):
+    """Micro-benchmark: one agent-based scheduling cycle at n=16."""
+    agents = LCFDistributedAgents(16, ITERATIONS)
+    benchmark(agents.schedule, dense_requests)

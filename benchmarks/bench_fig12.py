@@ -1,0 +1,99 @@
+"""Experiment fig12a / fig12b: mean queueing delay versus load for the
+nine schedulers of Figure 12, absolute and relative to outbuf.
+
+Regenerates both plots (ASCII + data table) on a reduced grid and
+asserts the Section 6.3 qualitative claims. The paper's exact setup
+(16 ports, VOQ 256, PQ 1000, 4 iterations, uniform Bernoulli) is kept;
+only the measurement window and load grid are shortened.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, BENCH_LOADS, once
+from repro.analysis.sweep import (
+    SweepSpec,
+    check_paper_shape,
+    run_sweep,
+    shape_report,
+)
+from repro.analysis.tables import format_table
+from repro.baselines.registry import PAPER_SCHEDULERS
+
+
+@pytest.fixture(scope="module")
+def fig12_sweep():
+    spec = SweepSpec(
+        schedulers=PAPER_SCHEDULERS, loads=BENCH_LOADS, config=BENCH_CONFIG
+    )
+    return run_sweep(spec)
+
+
+def test_fig12a_absolute_latency(benchmark, fig12_sweep):
+    """Figure 12a: simulated latencies (reduced grid)."""
+
+    def report():
+        print()
+        print(fig12_sweep.plot(relative=False))
+        print()
+        print(
+            format_table(
+                fig12_sweep.rows(),
+                columns=["scheduler", "load", "mean_latency", "throughput"],
+            )
+        )
+        return fig12_sweep
+
+    once(benchmark, report)
+
+
+def test_fig12b_relative_latency(benchmark, fig12_sweep):
+    """Figure 12b: latency relative to output buffering."""
+
+    def report():
+        print()
+        print(fig12_sweep.plot(relative=True))
+        rows = []
+        for name in PAPER_SCHEDULERS:
+            if name == "outbuf":
+                continue
+            loads, ratios = fig12_sweep.relative_series(name)
+            rows.append(
+                {"scheduler": name}
+                | {f"load {load}": round(r, 2) for load, r in zip(loads, ratios)}
+            )
+        print()
+        print(format_table(rows))
+        return rows
+
+    once(benchmark, report)
+
+
+def test_fig12_shape_claims(benchmark, fig12_sweep):
+    """The reproduction criteria: orderings and crossovers of Section 6.3."""
+
+    def check():
+        checks = check_paper_shape(fig12_sweep)
+        print()
+        print(shape_report(checks))
+        return checks
+
+    checks = once(benchmark, check)
+    failed = [c for c in checks if not c.passed]
+    assert not failed, "\n".join(f"{c.claim}: {c.detail}" for c in failed)
+
+
+def test_lcf_central_vs_outbuf_ratio(benchmark, fig12_sweep):
+    """Paper: 'For high load, the latency for lcf_central is about 1.4
+    times the latency of outbuf.'"""
+
+    def ratio():
+        high = fig12_sweep.get("lcf_central", 0.9).mean_latency
+        reference = fig12_sweep.get("outbuf", 0.9).mean_latency
+        value = high / reference
+        print(f"\nlcf_central / outbuf latency at load 0.9: {value:.2f} (paper ~1.4)")
+        return value
+
+    value = once(benchmark, ratio)
+    assert 1.0 <= value <= 2.0

@@ -1,0 +1,76 @@
+"""Ablation: scheduler pipelining (paper Section 1).
+
+"By pipelining the scheduler and overlapping scheduling and packet
+forwarding, packet throughput is optimized. Note that these techniques
+do not reduce latency and that the scheduling latency adds to the
+overall switch forwarding latency."
+
+We sweep the pipeline depth of the LCF-scheduled crossbar and measure
+both sides of that sentence: throughput must be depth-independent,
+latency must grow by the depth. (The Clint bulk channel is this switch
+at depth 1.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.analysis.tables import format_table
+from repro.core.lcf_central import LCFCentralRR
+from repro.sim.config import SimConfig
+from repro.sim.pipelined import PipelinedSwitch
+from repro.traffic.bernoulli import BernoulliUniform
+
+DEPTHS = (0, 1, 2, 4)
+CONFIG = SimConfig(
+    n_ports=16, voq_capacity=256, pq_capacity=1000,
+    warmup_slots=300, measure_slots=1500,
+)
+
+
+def _run(depth: int, load: float):
+    switch = PipelinedSwitch(CONFIG, LCFCentralRR(16), depth)
+    pattern = BernoulliUniform(16, load, seed=CONFIG.seed)
+    for slot in range(CONFIG.total_slots):
+        if slot == CONFIG.warmup_slots:
+            switch.measuring = True
+        switch.step(slot, pattern.arrivals())
+    return (
+        switch.latency.mean,
+        switch.forwarded / (16 * CONFIG.measure_slots),
+    )
+
+
+def test_pipeline_depth_ablation(benchmark):
+    def report():
+        rows = []
+        for depth in DEPTHS:
+            low_lat, low_tp = _run(depth, 0.2)
+            high_lat, high_tp = _run(depth, 0.9)
+            rows.append(
+                {
+                    "depth": depth,
+                    "latency@0.2": round(low_lat, 2),
+                    "latency@0.9": round(high_lat, 2),
+                    "throughput@0.9": round(high_tp, 3),
+                }
+            )
+        print("\nAblation: scheduling pipeline depth (lcf_central_rr, n=16)")
+        print(format_table(rows))
+        return rows
+
+    rows = once(benchmark, report)
+    by_depth = {row["depth"]: row for row in rows}
+
+    # Throughput is depth-independent.
+    throughputs = [row["throughput@0.9"] for row in rows]
+    assert max(throughputs) - min(throughputs) < 0.02
+    # At low load, latency grows by exactly the depth.
+    base = by_depth[0]["latency@0.2"]
+    for depth in DEPTHS[1:]:
+        assert by_depth[depth]["latency@0.2"] == pytest.approx(
+            base + depth, abs=0.2
+        )
+    # At high load the penalty persists.
+    assert by_depth[4]["latency@0.9"] > by_depth[0]["latency@0.9"]

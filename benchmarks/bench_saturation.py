@@ -1,0 +1,56 @@
+"""Saturation throughput: the classic summary table of the field.
+
+Offered load 1.0 on every input; the delivered fraction of output
+bandwidth separates the architectures: FIFO collapses to the
+Karol/Hluchyj/Morgan limit 2-sqrt(2) ~ 0.586 (the paper's reference
+[8]), every maximal-matching VOQ scheduler approaches 1.0 under uniform
+traffic, and nonuniform patterns spread the field.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.analysis.tables import format_table
+from repro.analysis.throughput import FIFO_SATURATION_LIMIT, saturation_table
+from repro.sim.config import SimConfig
+
+SCHEDULERS = (
+    "lcf_central", "lcf_central_rr", "lcf_dist", "pim", "islip",
+    "wfront", "fifo", "outbuf",
+)
+CONFIG = SimConfig(
+    n_ports=16, voq_capacity=64, pq_capacity=64,
+    warmup_slots=800, measure_slots=3000,
+)
+
+
+def test_uniform_saturation_table(benchmark):
+    def report():
+        rows = saturation_table(SCHEDULERS, CONFIG)
+        print("\nSaturation throughput, uniform Bernoulli load 1.0 (n=16):")
+        print(format_table(rows))
+        return {row["scheduler"]: row["saturation_throughput"] for row in rows}
+
+    throughput = once(benchmark, report)
+    assert abs(throughput["fifo"] - FIFO_SATURATION_LIMIT) < 0.06
+    for name in ("lcf_central", "islip", "wfront", "lcf_dist"):
+        assert throughput[name] > 0.93, name
+    # LCF is at least as good as the round-robin schedulers.
+    assert throughput["lcf_central"] >= throughput["islip"] - 0.01
+
+
+def test_diagonal_saturation_table(benchmark):
+    """Nonuniform stress: diagonal traffic concentrates demand on two
+    inputs per output with a 2:1 skew."""
+
+    def report():
+        rows = saturation_table(
+            ("lcf_central", "islip", "wfront", "pim"), CONFIG, traffic="diagonal"
+        )
+        print("\nSaturation throughput, diagonal traffic (n=16):")
+        print(format_table(rows))
+        return {row["scheduler"]: row["saturation_throughput"] for row in rows}
+
+    throughput = once(benchmark, report)
+    for name, value in throughput.items():
+        assert value > 0.7, name

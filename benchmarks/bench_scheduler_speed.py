@@ -1,0 +1,71 @@
+"""Scheduler execution speed on the software substrate.
+
+The paper compares hardware scheduling times (Table 2, Section 6.2);
+on our Python substrate the equivalent measurement is schedule() calls
+per second. The relative picture should echo the asymptotics: the
+central LCF's O(n) sequential loop versus the iterative schedulers'
+fixed iteration count, and the n-scaling of each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import available_schedulers, make_scheduler
+
+
+def _requests(n: int, density: float = 0.5, seed: int = 42) -> np.ndarray:
+    return np.random.default_rng(seed).random((n, n)) < density
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in available_schedulers() if n != "fifo"],
+)
+def test_schedule_speed_16_ports(benchmark, name):
+    """One scheduling cycle at the paper's 16 ports, ~50% density."""
+    scheduler = make_scheduler(name, 16)
+    requests = _requests(16)
+    benchmark(scheduler.schedule, requests)
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_lcf_central_scaling(benchmark, n):
+    """Central LCF across switch widths (O(n) outputs x O(n) vector ops)."""
+    scheduler = make_scheduler("lcf_central", n)
+    requests = _requests(n)
+    benchmark(scheduler.schedule, requests)
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_lcf_dist_scaling(benchmark, n):
+    """Distributed LCF across switch widths (4 iterations)."""
+    scheduler = make_scheduler("lcf_dist", n)
+    requests = _requests(n)
+    benchmark(scheduler.schedule, requests)
+
+
+def test_hopcroft_karp_speed_16_ports(benchmark):
+    """Maximum matching — the 'too slow for high-speed networking'
+    reference point (Section 1)."""
+    from repro.matching.hopcroft_karp import hopcroft_karp
+
+    requests = _requests(16)
+    benchmark(hopcroft_karp, requests)
+
+
+def test_simulator_slot_throughput(benchmark):
+    """Simulator hot loop: one slot of the 16-port crossbar at load 0.9."""
+    from benchmarks.conftest import BENCH_CONFIG
+    from repro.sim.crossbar import InputQueuedSwitch
+    from repro.traffic.bernoulli import BernoulliUniform
+
+    switch = InputQueuedSwitch(BENCH_CONFIG, make_scheduler("lcf_central", 16))
+    pattern = BernoulliUniform(16, 0.9, seed=1)
+    slot_counter = iter(range(10**9))
+
+    def one_slot():
+        switch.step(next(slot_counter), pattern.arrivals())
+
+    benchmark(one_slot)

@@ -1,0 +1,66 @@
+"""Experiment tab1: gate and register counts of the LCF scheduler
+implementation (Table 1, Section 6.1).
+
+The cost model's n=16 output must equal the paper's published counts
+exactly; the benchmark also reports the scaling the paper argues about
+in Section 6.2 (per-slice cost linear in n, total quadratic).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.analysis.tables import format_table
+from repro.hw.cost import cost_report, fpga_utilisation, table1
+
+PAPER_TABLE1 = {
+    "gates": {"distributed": 7200, "central": 767, "total": 7967},
+    "registers": {"distributed": 1376, "central": 216, "total": 1592},
+}
+
+
+def test_table1_reproduction(benchmark):
+    """Regenerate Table 1 and check it against the paper bit for bit."""
+
+    def report():
+        rows = table1(16)
+        print("\nTable 1: Gate Count and Register Count of the LCF Scheduler (n=16)")
+        print(format_table(rows))
+        print(f"Estimated XCV600 utilisation: {fpga_utilisation(16):.0%} (paper: 15%)")
+        return rows
+
+    rows = once(benchmark, report)
+    for row in rows:
+        expected = PAPER_TABLE1[str(row["count"])]
+        for key, value in expected.items():
+            assert row[key] == value, (row["count"], key)
+
+
+def test_cost_scaling(benchmark):
+    """Beyond the paper: the model's scaling from 4 to 1024 ports."""
+
+    def report():
+        rows = []
+        for n in (4, 8, 16, 32, 64, 128, 256, 512, 1024):
+            r = cost_report(n)
+            rows.append(
+                {
+                    "n": n,
+                    "slice_gates": r.distributed_gates // n,
+                    "total_gates": r.total_gates,
+                    "total_registers": r.total_registers,
+                }
+            )
+        print("\nCost model scaling (central LCF scheduler):")
+        print(format_table(rows))
+        return rows
+
+    rows = once(benchmark, report)
+    # Total cost is quadratic: 64 ports must cost more than 4x 16 ports.
+    by_n = {row["n"]: row for row in rows}
+    assert by_n[64]["total_gates"] > 4 * by_n[16]["total_gates"]
+
+
+def test_cost_model_speed(benchmark):
+    """Micro-benchmark: the model itself is O(1) arithmetic."""
+    result = benchmark(cost_report, 16)
+    assert result.total_gates == 7967

@@ -1,0 +1,56 @@
+"""Shared benchmark configuration.
+
+The benchmarks serve two purposes:
+
+* **regenerate the paper's tables and figures** — each ``bench_*``
+  module prints the reproduced artefact (reduced simulation windows so
+  the suite completes in minutes on one core; the full-scale grids live
+  in ``examples/figure12_sweep.py``), and
+* **measure the implementation** — per-scheduler scheduling throughput,
+  which stands in for the paper's execution-time comparison on our
+  software substrate.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the printed
+reproductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimConfig
+
+#: Paper port count with reduced measurement windows for bench speed.
+BENCH_CONFIG = SimConfig(
+    n_ports=16,
+    voq_capacity=256,
+    pq_capacity=1000,
+    iterations=4,
+    warmup_slots=300,
+    measure_slots=1500,
+    seed=1,
+)
+
+#: Reduced load grid preserving the regions Figure 12 cares about:
+#: the flat low-load region, the knee, and saturation.
+BENCH_LOADS = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0)
+
+
+@pytest.fixture
+def bench_config() -> SimConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture
+def dense_requests() -> np.ndarray:
+    """A reproducible 16x16 request matrix at ~50% density."""
+    rng = np.random.default_rng(99)
+    return rng.random((16, 16)) < 0.5
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run a reporting function exactly once under the benchmark timer
+    (pedantic mode: reporting benches regenerate an artefact, they are
+    not micro-benchmarks to be repeated)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The Clint cluster interconnect (paper Section 4) end to end.
+
+Simulates the 16-host prototype: the bulk channel scheduled by the
+central LCF scheduler through the three-stage pipeline
+(configuration/grant -> transfer -> acknowledgment), the best-effort
+quick channel with collision drops, and link-error injection exercising
+the CRC protection of the packet formats.
+
+Run: python examples/clint_cluster.py
+"""
+
+from repro.clint import ClintNetwork
+from repro.traffic import BernoulliUniform, BurstyOnOff
+
+
+def run_scenario(title: str, *, bulk_load: float, quick_load: float,
+                 cfg_loss_rate: float = 0.0, slots: int = 2000,
+                 bursty: bool = False) -> None:
+    net = ClintNetwork(16, cfg_loss_rate=cfg_loss_rate, seed=7)
+    bulk = (
+        BurstyOnOff(16, bulk_load, seed=1, mean_burst=16)
+        if bursty
+        else BernoulliUniform(16, bulk_load, seed=1)
+    )
+    quick = BernoulliUniform(16, quick_load, seed=2)
+    stats = net.run(slots, bulk_traffic=bulk, quick_traffic=quick)
+
+    print(f"--- {title} ---")
+    print(f"  bulk delivered     : {stats.bulk_delivered} packets")
+    print(f"  bulk mean latency  : {stats.mean_bulk_latency:.2f} slots "
+          "(2 = scheduling + transfer pipeline minimum)")
+    print(f"  acknowledgments    : {stats.acks_delivered} "
+          f"({'every request acked' if stats.acks_delivered == stats.bulk_delivered else 'MISSING ACKS'})")
+    print(f"  quick delivered    : {stats.quick_delivered}, "
+          f"dropped on collision: {stats.quick_dropped} "
+          f"({stats.quick_drop_rate:.1%})")
+    if cfg_loss_rate:
+        print(f"  corrupted configs  : {stats.cfg_crc_errors} "
+              "(detected by CRC-16, reported via CRCErr)")
+    print(f"  residual backlog   : {net.backlog()} packets\n")
+
+
+def main() -> None:
+    print("Clint: 16-host star, LCF-scheduled bulk channel + "
+          "best-effort quick channel\n")
+
+    run_scenario("moderate load", bulk_load=0.5, quick_load=0.2)
+    run_scenario("heavy bulk, heavy quick", bulk_load=0.9, quick_load=0.7)
+    run_scenario("bursty bulk traffic", bulk_load=0.5, quick_load=0.2,
+                 bursty=True)
+    run_scenario("noisy links (5% config corruption)", bulk_load=0.5,
+                 quick_load=0.2, cfg_loss_rate=0.05)
+
+    print("Note how the scheduled bulk channel never drops packets in the")
+    print("fabric — collisions are impossible by construction — while the")
+    print("quick channel trades losses for zero scheduling latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Full Figure 12 reproduction: queueing delay versus load for all nine
+schedulers, absolute (12a) and relative to output buffering (12b).
+
+With no arguments this runs a medium-fidelity grid (~a few minutes on
+one core). ``--full`` runs the paper-fidelity grid (20 loads, 20k
+measured slots — plan for an hour on a laptop core). Results are
+printed as tables and ASCII plots and optionally written to CSV.
+
+Run: python examples/figure12_sweep.py [--full] [--csv fig12.csv]
+"""
+
+import argparse
+
+from repro.analysis.sweep import (
+    PAPER_LOADS,
+    SweepSpec,
+    check_paper_shape,
+    run_sweep,
+    shape_report,
+)
+from repro.analysis.tables import format_table
+from repro.baselines.registry import PAPER_SCHEDULERS
+from repro.sim.config import SimConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-fidelity grid (slow)")
+    parser.add_argument("--csv", metavar="PATH", help="write results as CSV")
+    args = parser.parse_args()
+
+    if args.full:
+        config = SimConfig()  # the exact Section 6.3 parameters
+        loads = PAPER_LOADS
+    else:
+        config = SimConfig(warmup_slots=500, measure_slots=4000)
+        loads = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0)
+
+    spec = SweepSpec(schedulers=PAPER_SCHEDULERS, loads=loads, config=config)
+    print(
+        f"Sweeping {len(spec.schedulers)} schedulers x {len(loads)} loads, "
+        f"{config.n_ports} ports, {config.measure_slots} measured slots each..."
+    )
+    sweep = run_sweep(spec, progress=True)
+
+    print()
+    print(sweep.plot(relative=False))
+    print()
+    print(sweep.plot(relative=True))
+    print()
+    print(
+        format_table(
+            sweep.rows(),
+            columns=["scheduler", "load", "mean_latency", "throughput", "dropped"],
+        )
+    )
+    print()
+    print(shape_report(check_paper_shape(sweep)))
+
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(sweep.to_csv())
+        print(f"\nwrote {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

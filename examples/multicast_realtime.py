@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The precalculated schedule (paper Section 4.3): real-time slots and
+multicast over the LCF-scheduled bulk channel.
+
+Shows the two-stage scheduling at matrix level (the Figure 7 example),
+then drives a periodic real-time multicast stream through the full
+Clint network while background unicast traffic competes for the
+remaining slots.
+
+Run: python examples/multicast_realtime.py
+"""
+
+import numpy as np
+
+from repro.clint import ClintNetwork
+from repro.core import PrecalcScheduler, check_precalc_integrity
+from repro.traffic import BernoulliUniform
+
+
+def figure7_example() -> None:
+    print("=== Figure 7: precalculated multicast, matrix level ===")
+    requests = np.zeros((4, 4), dtype=bool)
+    requests[0, 0] = True
+    requests[1, [0, 2]] = True
+    requests[2, [0, 2]] = True
+    precalc = np.zeros((4, 4), dtype=bool)
+    precalc[3, 1] = precalc[3, 3] = True  # I3 multicasts to T1 and T3
+
+    result = PrecalcScheduler(4).schedule(requests, precalc)
+    print("connections:", result.connections())
+    print("I3 drives both T1 and T3 in the same slot;"
+          " LCF fills the rest.\n")
+
+    # Integrity check: conflicting precalc entries are dropped.
+    bad = np.zeros((4, 4), dtype=bool)
+    bad[0, 2] = bad[3, 2] = True  # both claim T2
+    accepted, dropped = check_precalc_integrity(bad)
+    print("conflicting precalc {I0->T2, I3->T2}: accepted",
+          [(int(i), int(j)) for i, j in zip(*np.nonzero(accepted))],
+          "dropped", dropped, "\n")
+
+
+def realtime_stream() -> None:
+    print("=== Periodic real-time multicast over the Clint network ===")
+    n, period, slots = 8, 10, 400
+    net = ClintNetwork(n, seed=3)
+    background = BernoulliUniform(n, 0.6, seed=4)
+
+    deliveries_before = 0
+    for slot in range(slots):
+        if slot % period == 0:
+            # Host 0 pre-schedules a frame to three subscribers.
+            net.hosts[0].request_multicast([2, 5, 7], slot)
+        net.step(slot, bulk_arrivals=background.arrivals())
+    net.step(slots, quiesce=True)
+    net.step(slots + 1, quiesce=True)
+
+    expected_frames = slots // period
+    print(f"multicast frames sent      : {expected_frames} "
+          f"(one every {period} slots)")
+    print(f"multicast deliveries       : {net.stats.multicast_deliveries} "
+          f"(= frames x 3 subscribers: {expected_frames * 3})")
+    print(f"background bulk delivered  : "
+          f"{net.stats.bulk_delivered - net.stats.multicast_deliveries}")
+    print(f"bulk mean latency          : {net.stats.mean_bulk_latency:.2f} slots")
+    print("\nThe real-time stream rides stage 1 of the scheduler — it is")
+    print("never contended, while best-effort unicast fills stage 2.")
+
+
+def main() -> None:
+    figure7_example()
+    realtime_stream()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Priority currencies compared: what should a grant decision rank by?
+
+The central LCF scheduler ranks requesters by *choice count* (NRQ).
+The literature's alternatives rank by queue length (LQF) or head-of-line
+age (OCF), and iSLIP ranks by nothing but pointer position. This
+example runs all four on identical workloads and weighs the latency
+results against what each rule costs to communicate — the Section 6.2
+angle that motivates LCF's compact log2(n)-bit counts.
+
+Run: python examples/priority_rules.py
+"""
+
+import math
+
+from repro import SimConfig, run_simulation
+from repro.analysis.tables import format_table
+
+N = 16
+CONFIG = SimConfig(n_ports=N, warmup_slots=1000, measure_slots=8000)
+RULES = {
+    "lcf_central": "choice count (NRQ)",
+    "lqf": "VOQ length",
+    "ocf": "head-of-line age",
+    "islip": "pointer position only",
+}
+
+
+def wire_bits(rule: str) -> str:
+    """Bits each input must ship to the scheduler per cycle, beyond the
+    n-bit request vector everyone needs."""
+    log2n = math.ceil(math.log2(N))
+    if rule == "lcf_central":
+        return f"0 (scheduler derives NRQ from the {N}-bit request vector)"
+    if rule == "lqf":
+        return f"{N} x log2(voq_capacity) = {N * 8} (queue lengths)"
+    if rule == "ocf":
+        return f"{N} x timestamp ~ {N * 16} (HOL ages)"
+    return "0 (pointers live in the scheduler)"
+
+
+def main() -> None:
+    print(f"Priority-rule comparison, {N}-port switch, uniform Bernoulli\n")
+    rows = []
+    for load in (0.7, 0.9, 0.95):
+        for rule in RULES:
+            result = run_simulation(CONFIG, rule, load)
+            rows.append(
+                {
+                    "load": load,
+                    "scheduler": rule,
+                    "ranks by": RULES[rule],
+                    "mean_latency": round(result.mean_latency, 2),
+                    "max_latency": int(result.max_latency),
+                }
+            )
+    print(format_table(rows))
+
+    print("\nCommunication cost of the priority currency (per input, per cycle):")
+    for rule in RULES:
+        print(f"  {rule:<12} {wire_bits(rule)}")
+
+    print(
+        "\nTakeaways: the queue-aware rules (lcf/lqf/ocf) beat pure"
+        "\nround-robin at high load; OCF tightens the tail (max latency);"
+        "\nand LCF gets its latency without shipping any per-VOQ state —"
+        "\nthe scheduler computes choice counts from the request bits it"
+        "\nalready has, which is what made it cheap enough for the Clint"
+        "\nFPGA (Table 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

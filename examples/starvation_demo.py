@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Starvation: why pure throughput optimisation is not enough.
+
+Section 1 of the paper: "it can be easily shown that an algorithm that
+finds the maximum number of matches can lead to starvation." This demo
+constructs that adversarial workload and runs three schedulers over it:
+
+* maximum-size matching (Hopcroft-Karp) — throughput-optimal, starves;
+* pure LCF — near-optimal throughput, still starves;
+* LCF with the round-robin diagonal — serves every backlogged pair at
+  least once every n^2 cycles (the hard b/n^2 guarantee of Section 3).
+
+Run: python examples/starvation_demo.py
+"""
+
+import numpy as np
+
+from repro import LCFCentral, LCFCentralRR, hopcroft_karp
+from repro.analysis.fairness import (
+    adversarial_two_flow_matrix,
+    starvation_report,
+)
+
+N = 8
+CYCLES = N * N
+
+
+def main() -> None:
+    requests = adversarial_two_flow_matrix(N)
+    print("Static backlog (1 = packets waiting):")
+    print(requests.astype(int))
+    print(f"\nRunning {CYCLES} scheduling cycles (= n^2, one full RR period)...\n")
+
+    # Maximum-size matching: same deterministic schedule forever.
+    counts = np.zeros((N, N), dtype=np.int64)
+    for _ in range(CYCLES):
+        schedule = hopcroft_karp(requests)
+        for i, j in enumerate(schedule):
+            if j >= 0:
+                counts[i, j] += 1
+    starved = [(int(i), int(j)) for i, j in zip(*np.nonzero(requests & (counts == 0)))]
+    print(f"maximum-size matching: starved pairs = {starved}")
+
+    pure = starvation_report(LCFCentral(N), cycles=CYCLES, requests=requests)
+    print(f"lcf_central (pure)   : starved pairs = {pure.starved_pairs}")
+
+    rr = starvation_report(LCFCentralRR(N), cycles=CYCLES, requests=requests)
+    print(f"lcf_central_rr       : starved pairs = {rr.starved_pairs}")
+    print(f"                       min service rate = {rr.min_rate:.4f} "
+          f">= 1/n^2 = {1 / CYCLES:.4f}")
+
+    print("\nThe RR diagonal visits every matrix position once per n^2 cycles")
+    print("and wins unconditionally there — a hard, not statistical, bound.")
+
+    # The cost side of the trade: total grants (throughput proxy).
+    print("\nThroughput over the same period (total grants):")
+    print(f"  maximum-size matching: {counts.sum()}")
+    print(f"  lcf_central          : {pure.counts.sum()}")
+    print(f"  lcf_central_rr       : {rr.counts.sum()}")
+
+
+if __name__ == "__main__":
+    main()

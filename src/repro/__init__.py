@@ -1,0 +1,117 @@
+"""Reproduction of *The Least Choice First Scheduling Method for
+High-Speed Network Switches* (Gura & Eberle, IPPS 2002).
+
+Quickstart::
+
+    import numpy as np
+    from repro import LCFCentralRR
+
+    scheduler = LCFCentralRR(4)
+    requests = np.array(
+        [
+            [0, 1, 1, 0],  # I0 requests T1, T2
+            [1, 0, 1, 1],  # I1 requests T0, T2, T3
+            [1, 0, 1, 1],  # I2 requests T0, T2, T3
+            [0, 1, 0, 0],  # I3 requests T1
+        ],
+        dtype=bool,
+    )
+    schedule = scheduler.schedule(requests)  # the Figure 3 example
+
+Simulation (a Figure 12 data point)::
+
+    from repro import SimConfig, run_simulation
+
+    result = run_simulation(SimConfig(measure_slots=5000), "lcf_central", load=0.8)
+    print(result.mean_latency)
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md``
+for the paper-versus-measured record.
+"""
+
+from repro._version import __version__
+from repro.baselines import (
+    FIFOScheduler,
+    GreedyMaximal,
+    ISLIP,
+    PIM,
+    RandomMaximal,
+    WrappedWaveFront,
+    available_schedulers,
+    make_scheduler,
+)
+from repro.core import (
+    IterativeScheduler,
+    LCFCentral,
+    LCFCentralRR,
+    LCFCentralVariant,
+    LCFDistributed,
+    LCFDistributedRR,
+    PrecalcResult,
+    PrecalcScheduler,
+    RRCoverage,
+    Scheduler,
+    check_precalc_integrity,
+)
+from repro.baselines.weighted import LQF, OCF
+from repro.core.multicast import MulticastCell, MulticastScheduler
+from repro.fabric import ClosNetwork, CrossbarFabric
+from repro.matching import hopcroft_karp, maximum_matching_size
+from repro.sim import (
+    InputQueuedSwitch,
+    OutputBufferedSwitch,
+    PipelinedSwitch,
+    SimConfig,
+    SimResult,
+    run_simulation,
+)
+from repro.sim.cioq import CIOQSwitch
+from repro.traffic import TrafficPattern, make_traffic
+from repro.types import NO_GRANT
+
+__all__ = [
+    "__version__",
+    "NO_GRANT",
+    # core
+    "Scheduler",
+    "IterativeScheduler",
+    "LCFCentral",
+    "LCFCentralRR",
+    "LCFCentralVariant",
+    "LCFDistributed",
+    "LCFDistributedRR",
+    "RRCoverage",
+    "PrecalcScheduler",
+    "PrecalcResult",
+    "check_precalc_integrity",
+    # baselines
+    "PIM",
+    "ISLIP",
+    "WrappedWaveFront",
+    "FIFOScheduler",
+    "GreedyMaximal",
+    "RandomMaximal",
+    "available_schedulers",
+    "make_scheduler",
+    # matching
+    "hopcroft_karp",
+    "maximum_matching_size",
+    # simulation
+    "SimConfig",
+    "SimResult",
+    "run_simulation",
+    "InputQueuedSwitch",
+    "OutputBufferedSwitch",
+    "PipelinedSwitch",
+    "CIOQSwitch",
+    # extensions
+    "LQF",
+    "OCF",
+    "MulticastCell",
+    "MulticastScheduler",
+    "CrossbarFabric",
+    "ClosNetwork",
+    # traffic
+    "TrafficPattern",
+    "make_traffic",
+]

@@ -1,0 +1,3 @@
+"""Version of the LCF reproduction package."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,29 @@
+"""Sweep harness, fairness analysis, and reporting.
+
+* :mod:`repro.analysis.sweep` — the Figure 12 load-sweep driver and the
+  paper-shape acceptance checks;
+* :mod:`repro.analysis.fairness` — the Section 3 ``b/n^2`` bound and
+  starvation detection;
+* :mod:`repro.analysis.asciiplot` — terminal line plots (no matplotlib
+  dependency);
+* :mod:`repro.analysis.tables` — fixed-width table rendering for the
+  Table 1/2 reproductions;
+* :mod:`repro.analysis.stats` — confidence intervals and summary
+  statistics;
+* :mod:`repro.analysis.cli` — the ``lcf-sweep`` command-line entry point.
+"""
+
+from repro.analysis.fairness import saturated_service_counts, starvation_report
+from repro.analysis.sweep import SweepResult, SweepSpec, check_paper_shape, run_sweep
+from repro.analysis.throughput import saturation_table, saturation_throughput
+
+__all__ = [
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "check_paper_shape",
+    "saturated_service_counts",
+    "starvation_report",
+    "saturation_throughput",
+    "saturation_table",
+]

@@ -1,0 +1,79 @@
+"""Terminal line plots.
+
+The environment has no plotting library, so the Figure 12 reproductions
+render as character grids — one marker per series, a legend, and axis
+labels. Good enough to eyeball curve shapes and crossovers, which is
+what the reproduction criteria are about; the CSV output carries the
+exact numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Marker characters assigned to series in insertion order.
+MARKERS = "ox+*#@%&$~^"
+
+
+def ascii_plot(
+    series: dict[str, tuple[list[float], list[float]]],
+    width: int = 72,
+    height: int = 22,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    y_max: float | None = None,
+    y_min: float | None = None,
+) -> str:
+    """Render multiple (xs, ys) series onto one character grid.
+
+    NaN/inf points and points above ``y_max`` are clipped to the top
+    row (mirroring how saturated latencies run off a paper figure).
+    """
+    if not series:
+        return "(no data)"
+    finite_y = [
+        y
+        for _, (xs, ys) in series.items()
+        for y in ys
+        if math.isfinite(y)
+    ]
+    all_x = [x for _, (xs, _) in series.items() for x in xs]
+    if not all_x:
+        return "(no data)"
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo = y_min if y_min is not None else (min(finite_y) if finite_y else 0.0)
+    y_hi = y_max if y_max is not None else (max(finite_y) if finite_y else 1.0)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, round((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        if not math.isfinite(y):
+            return 0
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, round((1.0 - frac) * (height - 1))))
+
+    legend = []
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker}={name}")
+        for x, y in zip(xs, ys):
+            grid[to_row(y)][to_col(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_hi:g}, bottom={y_lo:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:g} .. {x_hi:g}")
+    lines.append(" " + "  ".join(legend))
+    return "\n".join(lines)

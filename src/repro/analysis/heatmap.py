@@ -1,0 +1,59 @@
+"""ASCII heatmaps for service matrices.
+
+Renders an ``(n, n)`` matrix — typically per-pair grant counts from a
+fairness run — as a character-density grid, the terminal equivalent of
+the service heatmaps switching papers print. Starved cells (zero
+service against a backlog) stand out as blanks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Density ramp, light to dark.
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    title: str = "",
+    ramp: str = DEFAULT_RAMP,
+    normalise: str = "max",
+) -> str:
+    """Render a non-negative matrix as a density grid.
+
+    ``normalise`` — "max" scales by the matrix maximum; "cell" expects
+    values already in [0, 1].
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D matrix, got shape {matrix.shape}")
+    if (matrix < 0).any():
+        raise ValueError("heatmap values must be non-negative")
+    if normalise == "max":
+        peak = matrix.max()
+        scaled = matrix / peak if peak > 0 else matrix
+    elif normalise == "cell":
+        if matrix.max() > 1.0:
+            raise ValueError("normalise='cell' expects values in [0, 1]")
+        scaled = matrix
+    else:
+        raise ValueError(f"unknown normalise mode {normalise!r}")
+
+    levels = (scaled * (len(ramp) - 1)).round().astype(int)
+    n_rows, n_cols = matrix.shape
+    header = "    " + "".join(f"{j % 10}" for j in range(n_cols))
+    lines = [title] if title else []
+    lines.append(header)
+    for i in range(n_rows):
+        cells = "".join(ramp[level] for level in levels[i])
+        lines.append(f"{i:>3} {cells}")
+    lines.append(f"scale: '{ramp[0]}'=0 .. '{ramp[-1]}'={matrix.max():g}")
+    return "\n".join(lines)
+
+
+def service_heatmap(counts: np.ndarray, cycles: int, title: str | None = None) -> str:
+    """Heatmap of a per-pair service-count matrix (fairness runs)."""
+    if title is None:
+        title = f"per-pair grants over {cycles} cycles"
+    return ascii_heatmap(counts, title=title)

@@ -1,0 +1,120 @@
+"""Replicated simulation runs: mean ± confidence interval over seeds.
+
+A single Figure 12 point is one finite Monte-Carlo run; publication-
+grade numbers need replications. :func:`replicate` runs the same
+(scheduler, load) point under independent seeds and reports the mean
+latency/throughput with a t-interval, so statements like "lcf_central
+is 1.33x outbuf at load 0.9" carry error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import mean_ci
+from repro.sim.config import SimConfig
+from repro.sim.simulator import SimResult, run_simulation
+from repro.traffic.base import TrafficPattern
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Aggregate of independent replications of one simulation point."""
+
+    scheduler: str
+    load: float
+    replications: int
+    mean_latency: float
+    latency_ci: float  # half-width, 95% t-interval
+    mean_throughput: float
+    throughput_ci: float
+    results: tuple[SimResult, ...]
+
+    def latency_interval(self) -> tuple[float, float]:
+        return (self.mean_latency - self.latency_ci,
+                self.mean_latency + self.latency_ci)
+
+    def row(self) -> dict[str, object]:
+        return {
+            "scheduler": self.scheduler,
+            "load": self.load,
+            "replications": self.replications,
+            "mean_latency": round(self.mean_latency, 3),
+            "latency_ci95": round(self.latency_ci, 3),
+            "throughput": round(self.mean_throughput, 4),
+        }
+
+
+def replicate(
+    config: SimConfig,
+    scheduler_name: str,
+    load: float,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    traffic: str = "bernoulli",
+    traffic_kwargs: dict | None = None,
+    confidence: float = 0.95,
+) -> ReplicatedResult:
+    """Run one point under each seed and aggregate.
+
+    Each replication reseeds both the traffic and any randomised
+    scheduler (PIM) through ``SimConfig.seed``, so replications are
+    fully independent.
+    """
+    if len(seeds) < 2:
+        raise ValueError("need at least two seeds for a confidence interval")
+    results = tuple(
+        run_simulation(
+            config.with_(seed=seed),
+            scheduler_name,
+            load,
+            traffic=traffic,
+            traffic_kwargs=traffic_kwargs,
+        )
+        for seed in seeds
+    )
+    latency_mean, latency_half = mean_ci(
+        [r.mean_latency for r in results], confidence
+    )
+    throughput_mean, throughput_half = mean_ci(
+        [r.throughput for r in results], confidence
+    )
+    return ReplicatedResult(
+        scheduler=scheduler_name,
+        load=load,
+        replications=len(seeds),
+        mean_latency=latency_mean,
+        latency_ci=latency_half,
+        mean_throughput=throughput_mean,
+        throughput_ci=throughput_half,
+        results=results,
+    )
+
+
+def compare_with_ci(
+    config: SimConfig,
+    candidate: str,
+    baseline: str,
+    load: float,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+) -> dict[str, object]:
+    """Paired comparison of two schedulers on identical traffic seeds.
+
+    Pairing by seed removes the workload variance, so the per-seed
+    latency *ratios* get the confidence interval — the right statistic
+    for claims like "lcf_central is 1.3-1.4x outbuf".
+    """
+    ratios = []
+    for seed in seeds:
+        point_config = config.with_(seed=seed)
+        candidate_result = run_simulation(point_config, candidate, load)
+        baseline_result = run_simulation(point_config, baseline, load)
+        ratios.append(candidate_result.mean_latency / baseline_result.mean_latency)
+    mean, half = mean_ci(ratios)
+    return {
+        "candidate": candidate,
+        "baseline": baseline,
+        "load": load,
+        "mean_ratio": round(mean, 3),
+        "ratio_ci95": round(half, 3),
+        "ratios": tuple(round(r, 3) for r in ratios),
+    }

@@ -1,0 +1,60 @@
+"""Statistical helpers for sweep results.
+
+Confidence intervals use the t-distribution when scipy is importable
+and fall back to the normal approximation otherwise (the package's
+hard dependency is numpy only).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+try:  # scipy is an optional (dev) dependency
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_stats = None
+
+#: Normal quantiles for the fallback path.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def mean_ci(samples, confidence: float = 0.95) -> tuple[float, float]:
+    """Sample mean and half-width of its confidence interval.
+
+    Returns ``(mean, half_width)``; half-width is 0 for fewer than two
+    samples.
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.size == 0:
+        return math.nan, 0.0
+    mean = float(x.mean())
+    if x.size < 2:
+        return mean, 0.0
+    sem = float(x.std(ddof=1)) / math.sqrt(x.size)
+    if _scipy_stats is not None:
+        quantile = float(_scipy_stats.t.ppf((1 + confidence) / 2, df=x.size - 1))
+    else:
+        quantile = _Z.get(round(confidence, 2), 1.96)
+    return mean, quantile * sem
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (the right average for ratios
+    like the Figure 12b relative latencies)."""
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        return math.nan
+    if np.any(x <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(x).mean()))
+
+
+def coefficient_of_variation(values) -> float:
+    """std/mean — dispersion measure used in the burstiness tests."""
+    x = np.asarray(values, dtype=float)
+    mean = x.mean()
+    if mean == 0:
+        return math.nan
+    return float(x.std(ddof=1) / mean) if x.size > 1 else 0.0

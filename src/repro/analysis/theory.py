@@ -1,0 +1,84 @@
+"""Closed-form queueing results for slotted switches.
+
+The classic analytical companions to the Figure 12 curves, from Karol,
+Hluchyj & Morgan, *Input versus Output Queueing on a Space-Division
+Packet Switch* (the paper's reference [8]):
+
+* **Output queueing** (our ``outbuf`` model): with Bernoulli arrivals
+  of rate ``p`` per input and uniform destinations, each output queue
+  receives binomial arrivals; the mean steady-state waiting time is
+
+      W = ((n-1)/n) * p / (2 (1 - p))
+
+  slots, an exact discrete-time M/D/1-type result. As n -> inf this
+  becomes the M/D/1 wait ``p / (2(1-p))``.
+
+* **Input queueing with FIFO** (our ``fifo`` model): saturated uniform
+  throughput tends to ``2 - sqrt(2) ≈ 0.586`` as n -> inf (the
+  head-of-line blocking limit). Finite-n saturation throughputs from
+  Karol et al.'s Table I are included for validation.
+
+These give the simulator something *exact* to be checked against —
+`tests/analysis/test_theory.py` holds the simulated ``outbuf`` curve to
+the closed form within Monte-Carlo tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Karol et al., Table I: saturation throughput of uniform FIFO input
+#: queueing for small n (n=1 trivially 1.0), converging to 2 - sqrt(2).
+FIFO_SATURATION_BY_N = {
+    1: 1.0,
+    2: 0.75,
+    3: 0.6825,
+    4: 0.6553,
+    5: 0.6399,
+    6: 0.6302,
+    7: 0.6234,
+    8: 0.6184,
+}
+
+FIFO_SATURATION_LIMIT = 2.0 - math.sqrt(2.0)
+
+
+def output_queue_wait(load: float, n: int) -> float:
+    """Mean waiting time (slots, excluding service) of an output queue
+    under uniform Bernoulli traffic — Karol et al., eq. (2).
+
+    ``load`` is the per-input packet probability ``p``; each of the
+    ``n`` outputs sees binomial(n, p/n) arrivals per slot.
+    """
+    if not 0.0 <= load < 1.0:
+        raise ValueError(f"load must be in [0, 1), got {load}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return ((n - 1) / n) * load / (2.0 * (1.0 - load))
+
+
+def output_queue_latency(load: float, n: int) -> float:
+    """Mean total latency (slots) of the ``outbuf`` switch: waiting time
+    plus the one-slot transmission our simulator's convention includes."""
+    return output_queue_wait(load, n) + 1.0
+
+
+def md1_wait(load: float) -> float:
+    """The continuous M/D/1 mean wait ``p / (2(1-p))`` — the n -> inf
+    limit of :func:`output_queue_wait`."""
+    if not 0.0 <= load < 1.0:
+        raise ValueError(f"load must be in [0, 1), got {load}")
+    return load / (2.0 * (1.0 - load))
+
+
+def fifo_saturation_throughput(n: int) -> float:
+    """Saturation throughput of uniform FIFO input queueing: Karol et
+    al.'s exact small-n values, the asymptotic limit beyond."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return FIFO_SATURATION_BY_N.get(n, FIFO_SATURATION_LIMIT)
+
+
+def fifo_saturates_below(load: float, n: int) -> bool:
+    """Whether uniform FIFO input queueing can carry ``load`` at all."""
+    return load <= fifo_saturation_throughput(n)

@@ -1,0 +1,40 @@
+"""Baseline schedulers the paper evaluates against (Section 6.3).
+
+* :class:`~repro.baselines.pim.PIM` — parallel iterative matching
+  (Anderson et al. [1]); random grant/accept selections.
+* :class:`~repro.baselines.islip.ISLIP` — iSLIP (McKeown [10]);
+  rotating grant/accept pointers updated on first-iteration accepts.
+* :class:`~repro.baselines.wavefront.WrappedWaveFront` — the wrapped
+  wave front arbiter (Tamir & Chi [14]).
+* :class:`~repro.baselines.fifo.FIFOScheduler` — single FIFO per input
+  (head-of-line blocking reference).
+* :class:`~repro.baselines.maximal_greedy.GreedyMaximal` and
+  :class:`~repro.baselines.random_sched.RandomMaximal` — simple maximal
+  matchers used as yardsticks in tests and ablations (not in the paper).
+
+``outbuf`` — the output-buffered switch — is not a crossbar scheduler
+and lives in :mod:`repro.sim.outbuf`.
+"""
+
+from repro.baselines.fifo import FIFOScheduler
+from repro.baselines.islip import ISLIP
+from repro.baselines.maximal_greedy import GreedyMaximal
+from repro.baselines.pim import PIM
+from repro.baselines.random_sched import RandomMaximal
+from repro.baselines.registry import available_schedulers, make_scheduler
+from repro.baselines.wavefront import WrappedWaveFront
+from repro.baselines.weighted import LQF, OCF, WeightedScheduler
+
+__all__ = [
+    "PIM",
+    "ISLIP",
+    "WrappedWaveFront",
+    "FIFOScheduler",
+    "GreedyMaximal",
+    "LQF",
+    "OCF",
+    "WeightedScheduler",
+    "RandomMaximal",
+    "available_schedulers",
+    "make_scheduler",
+]

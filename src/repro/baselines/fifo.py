@@ -1,0 +1,74 @@
+"""FIFO input-queue scheduler (the paper's ``fifo`` baseline).
+
+"This scheduler uses a single FIFO queue per input port (replacing
+multiple VOQs). The scheduler serves the FIFO queues in a round-robin
+fashion." (Section 6.3.)
+
+Only the *head-of-line* packet of each input is eligible, so the
+scheduler sees a HOL destination vector, not a full request matrix: when
+several heads contend for the same output, one wins and the others are
+blocked even if packets behind them target idle outputs — the classic
+head-of-line blocking that caps throughput at ``2 - sqrt(2) ≈ 0.586``
+for large ``n`` (Karol, Hluchyj & Morgan, reference [8]).
+
+Round-robin service is implemented with a rotating input offset: each
+output grants the contending input that comes first at or after the
+offset, and the offset advances every scheduling cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.types import NO_GRANT, RequestMatrix, Schedule, empty_schedule
+
+
+class FIFOScheduler(Scheduler):
+    """Round-robin arbitration among head-of-line packets."""
+
+    name = "fifo"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self._offset = 0
+
+    def reset(self) -> None:
+        self._offset = 0
+
+    def schedule_hol(self, hol: np.ndarray) -> Schedule:
+        """Schedule from a head-of-line vector.
+
+        ``hol[i]`` is the output requested by input ``i``'s head packet,
+        or ``NO_GRANT`` if the input queue is empty.
+        """
+        hol = np.asarray(hol, dtype=np.int64)
+        if hol.shape != (self.n,):
+            raise ValueError(f"HOL vector must have shape ({self.n},), got {hol.shape}")
+        n = self.n
+        schedule = empty_schedule(n)
+        # Rank inputs by cyclic distance from the round-robin offset; the
+        # closest contender for each output wins.
+        rank = (np.arange(n) - self._offset) % n
+        order = np.argsort(rank)
+        out_taken = np.zeros(n, dtype=bool)
+        for i in order:
+            j = hol[i]
+            if j != NO_GRANT and not out_taken[j]:
+                schedule[i] = j
+                out_taken[j] = True
+        self._offset = (self._offset + 1) % n
+        return schedule
+
+    def _schedule(self, requests: RequestMatrix) -> Schedule:
+        """Request-matrix API: rows must have at most one set bit (the HOL
+        destination). Provided so the FIFO scheduler fits the common
+        :class:`Scheduler` interface used by the registry and tests."""
+        counts = requests.sum(axis=1)
+        if np.any(counts > 1):
+            raise ValueError(
+                "fifo scheduler models a single FIFO per input: each row of "
+                "the request matrix may contain at most one request"
+            )
+        hol = np.where(counts == 1, np.argmax(requests, axis=1), NO_GRANT)
+        return self.schedule_hol(hol.astype(np.int64))

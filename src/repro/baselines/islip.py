@@ -1,0 +1,88 @@
+"""The iSLIP scheduler (McKeown — the paper's reference [10]).
+
+Iterative round-robin matching with "slip": per-output grant pointers
+``g[j]`` and per-input accept pointers ``a[i]``.
+
+Each iteration over the unmatched ports:
+
+1. **Request** — unmatched inputs request all unmatched outputs they
+   have packets for.
+2. **Grant** — an output grants the requesting input that appears *next
+   at or after* its pointer ``g[j]``.
+3. **Accept** — an input accepts the granting output next at or after
+   its pointer ``a[i]``.
+
+Pointers advance *one beyond* the matched partner, and — the property
+that distinguishes iSLIP from simple round-robin matching — **only for
+matches made in the first iteration**. This is what desynchronises the
+grant pointers and yields 100% throughput under saturated uniform
+traffic (verified in ``tests/baselines/test_islip.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import IterativeScheduler
+from repro.types import NO_GRANT, RequestMatrix, Schedule, empty_schedule
+
+
+def _next_at_or_after(candidates: np.ndarray, start: int) -> int:
+    """First set index of boolean ``candidates`` in cyclic order from ``start``."""
+    n = len(candidates)
+    order = (np.arange(n) - start) % n
+    masked = np.where(candidates, order, n)
+    winner = int(np.argmin(masked))
+    if not candidates[winner]:
+        raise ValueError("no candidate set")
+    return winner
+
+
+class ISLIP(IterativeScheduler):
+    """iSLIP with the standard first-iteration pointer-update rule."""
+
+    name = "islip"
+
+    def __init__(self, n: int, iterations: int = IterativeScheduler.DEFAULT_ITERATIONS):
+        super().__init__(n, iterations)
+        self._grant_ptr = np.zeros(n, dtype=np.int64)
+        self._accept_ptr = np.zeros(n, dtype=np.int64)
+
+    def reset(self) -> None:
+        self._grant_ptr[:] = 0
+        self._accept_ptr[:] = 0
+
+    @property
+    def pointers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the (grant, accept) pointer arrays, for inspection."""
+        return self._grant_ptr.copy(), self._accept_ptr.copy()
+
+    def _schedule(self, requests: RequestMatrix) -> Schedule:
+        n = self.n
+        schedule = empty_schedule(n)
+        out_matched = np.zeros(n, dtype=bool)
+
+        for iteration in range(self.iterations):
+            in_unmatched = schedule == NO_GRANT
+            live = requests & in_unmatched[:, np.newaxis] & ~out_matched[np.newaxis, :]
+            if not live.any():
+                break
+
+            # Grant step.
+            grants = np.zeros((n, n), dtype=bool)
+            for j in np.flatnonzero(live.any(axis=0)):
+                winner = _next_at_or_after(live[:, j], int(self._grant_ptr[j]))
+                grants[winner, j] = True
+
+            # Accept step.
+            for i in np.flatnonzero(grants.any(axis=1)):
+                j = _next_at_or_after(grants[i], int(self._accept_ptr[i]))
+                schedule[i] = j
+                out_matched[j] = True
+                if iteration == 0:
+                    # Pointer update only on first-iteration accepts
+                    # (McKeown 1999, Section II-C): prevents starvation
+                    # and desynchronises the pointers.
+                    self._grant_ptr[j] = (i + 1) % n
+                    self._accept_ptr[i] = (j + 1) % n
+        return schedule

@@ -1,0 +1,44 @@
+"""Greedy maximal matcher — a non-paper yardstick baseline.
+
+Scans inputs in rotating order and greedily grants each input its first
+(rotating) available requested output. Always produces a maximal
+matching in one pass, with no priority intelligence at all. Useful in
+ablations to isolate how much of LCF's advantage comes from the
+least-choice rule versus mere maximality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.types import RequestMatrix, Schedule, empty_schedule
+
+
+class GreedyMaximal(Scheduler):
+    """Rotating greedy maximal matching."""
+
+    name = "greedy"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self._offset = 0
+
+    def reset(self) -> None:
+        self._offset = 0
+
+    def _schedule(self, requests: RequestMatrix) -> Schedule:
+        n = self.n
+        schedule = empty_schedule(n)
+        out_free = np.ones(n, dtype=bool)
+        for k in range(n):
+            i = (self._offset + k) % n
+            available = requests[i] & out_free
+            if available.any():
+                # first available output in cyclic order from the offset
+                order = (np.arange(n) - self._offset) % n
+                j = int(np.argmin(np.where(available, order, n)))
+                schedule[i] = j
+                out_free[j] = False
+        self._offset = (self._offset + 1) % n
+        return schedule

@@ -1,0 +1,40 @@
+"""Random maximal matcher — a non-paper yardstick baseline.
+
+Grants inputs in a fresh uniformly random order each cycle, each taking
+a uniformly random available requested output. Equivalent to PIM run to
+convergence with per-cycle randomisation; isolates the value of *any*
+deterministic priority structure over pure chance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.types import RequestMatrix, Schedule, empty_schedule
+
+
+class RandomMaximal(Scheduler):
+    """Uniformly random maximal matching with seeded randomness."""
+
+    name = "random"
+
+    def __init__(self, n: int, seed: int = 0):
+        super().__init__(n)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def _schedule(self, requests: RequestMatrix) -> Schedule:
+        n = self.n
+        schedule = empty_schedule(n)
+        out_free = np.ones(n, dtype=bool)
+        for i in self._rng.permutation(n):
+            available = np.flatnonzero(requests[i] & out_free)
+            if available.size:
+                j = int(self._rng.choice(available))
+                schedule[i] = j
+                out_free[j] = False
+        return schedule

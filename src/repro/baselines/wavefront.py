@@ -1,0 +1,59 @@
+"""The wrapped wave front arbiter (Tamir & Chi — the paper's reference [14]).
+
+The arbiter is a regular ``n x n`` array of cells matching the crosspoint
+structure of the switch. Scheduling sweeps ``n`` *wrapped diagonals*
+(wavefronts) across the array: all cells on a diagonal have pairwise
+distinct rows and columns, so they can decide simultaneously — a cell
+grants iff its crosspoint is requested and neither its row (input) nor
+its column (output) has been granted by an earlier wavefront.
+
+Fairness comes from rotating which diagonal goes first: we advance the
+starting diagonal by one every scheduling cycle, so every request matrix
+position is on the highest-priority wavefront once every ``n`` cycles.
+The result is always a maximal matching (every request has its cell
+examined exactly once per cycle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.types import RequestMatrix, Schedule, empty_schedule
+
+
+class WrappedWaveFront(Scheduler):
+    """Wrapped wave front arbiter (``wfront`` in Figure 12)."""
+
+    name = "wfront"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self._offset = 0  # index of the highest-priority diagonal
+
+    def reset(self) -> None:
+        self._offset = 0
+
+    @property
+    def offset(self) -> int:
+        """Diagonal that sweeps first in the next scheduling cycle."""
+        return self._offset
+
+    def _schedule(self, requests: RequestMatrix) -> Schedule:
+        n = self.n
+        schedule = empty_schedule(n)
+        row_free = np.ones(n, dtype=bool)
+        col_free = np.ones(n, dtype=bool)
+
+        rows = np.arange(n)
+        for wave in range(n):
+            diag = (self._offset + wave) % n
+            cols = (diag - rows) % n  # cells with (i + j) mod n == diag
+            grant = requests[rows, cols] & row_free & col_free[cols]
+            granted_rows = rows[grant]
+            schedule[granted_rows] = cols[grant]
+            row_free[granted_rows] = False
+            col_free[cols[grant]] = False
+
+        self._offset = (self._offset + 1) % n
+        return schedule

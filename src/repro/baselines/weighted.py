@@ -1,0 +1,108 @@
+"""Weight-based schedulers: LQF and OCF (survey references [5][9]).
+
+The LCF priority (fewest *choices* first) is one point in a family of
+priority rules the input-queued switching literature explored. The two
+classic alternatives — both appear in McKeown's thesis, the paper's
+reference [9] — use per-VOQ weights instead of per-input choice counts:
+
+* **LQF** (longest queue first): grant the requester whose VOQ for this
+  output holds the most packets. Approximates the stability-optimal
+  maximum-weight matching; queue lengths must be communicated, not just
+  request bits.
+* **OCF** (oldest cell first): grant the requester whose head-of-line
+  packet for this output has waited longest. Bounds delay tails; needs
+  timestamps.
+
+Both are implemented in the same sequential rotating-output skeleton as
+the central LCF scheduler, so the comparison isolates the priority rule
+itself. They extend the :class:`~repro.core.base.Scheduler` API with
+:meth:`WeightedScheduler.schedule_weighted`; the plain boolean
+``schedule`` degrades to greedy maximal matching (all weights equal),
+and the simulator feeds real weights when the scheduler asks for them
+via :attr:`WeightedScheduler.weight_kind`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.types import NO_GRANT, RequestMatrix, Schedule, empty_schedule
+
+
+class WeightedScheduler(Scheduler):
+    """Base for schedulers that rank requests by a weight matrix.
+
+    ``weight_kind`` declares what the weights mean, so the switch model
+    knows what to supply: ``"occupancy"`` (VOQ lengths, for LQF) or
+    ``"hol_age"`` (head-of-line packet ages, for OCF).
+    """
+
+    weight_kind: str = "occupancy"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        # Independent row/column offsets, advanced like the central LCF
+        # scheduler's (I, J) pair: with a single offset the tie-break
+        # chain start would be constant per column (offset + step ≡
+        # column mod n) and ties would never rotate.
+        self._row_offset = 0
+        self._col_offset = 0
+
+    def reset(self) -> None:
+        self._row_offset = 0
+        self._col_offset = 0
+
+    def schedule_weighted(self, weights: np.ndarray) -> Schedule:
+        """Compute a schedule from a non-negative weight matrix.
+
+        ``weights[i, j] > 0`` means input ``i`` requests output ``j``
+        with the given priority weight; higher weights win. Outputs are
+        allocated sequentially in rotating order, ties broken by the
+        rotating chain — the same skeleton as the central LCF scheduler
+        with ``argmax(weight)`` in place of ``argmin(nrq)``.
+        """
+        weights = np.asarray(weights)
+        if weights.shape != (self.n, self.n):
+            raise ValueError(
+                f"weight matrix must be {self.n}x{self.n}, got {weights.shape}"
+            )
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        n = self.n
+        schedule = empty_schedule(n)
+        taken_input = np.zeros(n, dtype=bool)
+        for step in range(n):
+            col = (self._col_offset + step) % n
+            contenders = (weights[:, col] > 0) & ~taken_input
+            if not contenders.any():
+                continue
+            chain = (np.arange(n) - (self._row_offset + step)) % n
+            # Highest weight first, earliest chain position on ties.
+            key = np.where(contenders, weights[:, col] * n - chain, -1)
+            winner = int(np.argmax(key))
+            schedule[winner] = col
+            taken_input[winner] = True
+        self._row_offset = (self._row_offset + 1) % n
+        if self._row_offset == 0:
+            self._col_offset = (self._col_offset + 1) % n
+        return schedule
+
+    def _schedule(self, requests: RequestMatrix) -> Schedule:
+        """Boolean fallback: all requests weigh 1 (greedy maximal)."""
+        return self.schedule_weighted(requests.astype(np.int64))
+
+
+class LQF(WeightedScheduler):
+    """Longest queue first — weights are VOQ occupancies."""
+
+    name = "lqf"
+    weight_kind = "occupancy"
+
+
+class OCF(WeightedScheduler):
+    """Oldest cell first — weights are head-of-line packet ages + 1
+    (the +1 keeps a zero-age request distinguishable from no request)."""
+
+    name = "ocf"
+    weight_kind = "hol_age"

@@ -1,0 +1,38 @@
+"""The Clint cluster interconnect substrate (paper Section 4).
+
+Clint is the system the LCF scheduler was built for: a 16-host star
+network with a *segregated* architecture — a bulk channel whose slots
+are allocated by the central LCF scheduler before packets are sent, and
+a best-effort quick channel where colliding packets are dropped. The
+bulk channel is a three-stage pipeline (Figure 5): scheduling, transfer,
+acknowledgment.
+
+This package models the protocol end to end:
+
+* :mod:`repro.clint.crc` — CRC-16 used by the packet formats;
+* :mod:`repro.clint.packets` — the Section 4.1 configuration and grant
+  packet formats, bit-exact field layout with CRC protection;
+* :mod:`repro.clint.host` — host adapters: VOQs, configuration packet
+  generation, grant handling, acknowledgment generation;
+* :mod:`repro.clint.switch` — the switch: LCF bulk scheduler (with the
+  Section 4.3 precalculated schedule) and the collision-dropping quick
+  crossbar;
+* :mod:`repro.clint.network` — the full star network with the
+  three-stage bulk pipeline and link-error injection.
+"""
+
+from repro.clint.crc import crc16
+from repro.clint.host import ClintHost
+from repro.clint.network import ClintNetwork, NetworkStats
+from repro.clint.packets import ConfigPacket, GrantPacket
+from repro.clint.switch import ClintSwitch
+
+__all__ = [
+    "crc16",
+    "ConfigPacket",
+    "GrantPacket",
+    "ClintHost",
+    "ClintSwitch",
+    "ClintNetwork",
+    "NetworkStats",
+]

@@ -1,0 +1,143 @@
+"""Clint host adapter.
+
+Each host keeps bulk virtual output queues and a quick-channel queue,
+emits one configuration packet per scheduling slot, and reacts to grant
+packets by launching the corresponding bulk request in the transfer
+stage. Acknowledgments are generated for every received bulk request
+(the request-acknowledgment protocol of Section 4.1) and travel on the
+quick channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import count
+
+from repro.clint.packets import (
+    BulkAck,
+    BulkRequest,
+    ConfigPacket,
+    GrantPacket,
+    QuickPacket,
+    VECTOR_BITS,
+    vector_to_mask,
+)
+
+
+class ClintHost:
+    """One host on the Clint star network."""
+
+    def __init__(self, node_id: int, n_nodes: int, voq_capacity: int = 256):
+        if not 0 <= node_id < n_nodes <= VECTOR_BITS:
+            raise ValueError(
+                f"node_id {node_id} / n_nodes {n_nodes} out of range (max {VECTOR_BITS})"
+            )
+        self.node_id = node_id
+        self.n_nodes = n_nodes
+        self.voq_capacity = voq_capacity
+        #: Bulk VOQs: per-target queue of (t_generated, payload_id).
+        self.voqs: list[deque[tuple[int, int]]] = [deque() for _ in range(n_nodes)]
+        self.quick_queue: deque[QuickPacket] = deque()
+        #: Pending precalculated-schedule request (target mask), consumed
+        #: by the next configuration packet.
+        self.pending_precalc: int = 0
+        #: Multicast payloads keyed by the precalc mask they were
+        #: scheduled with.
+        self._precalc_payload: tuple[int, int] | None = None
+        self.ben = (1 << VECTOR_BITS) - 1
+        self.qen = (1 << VECTOR_BITS) - 1
+        self._payload_ids = count()
+
+        # Statistics.
+        self.bulk_sent = 0
+        self.bulk_received = 0
+        self.bulk_dropped = 0  # VOQ overflow
+        self.acks_received = 0
+        self.quick_sent = 0
+        self.quick_received = 0
+        self.received_latencies: list[int] = []
+        self.grant_errors = 0  # grants flagged linkErr/CRCErr
+
+    # -- traffic injection ------------------------------------------------
+
+    def enqueue_bulk(self, dst: int, slot: int) -> bool:
+        """Queue a bulk packet for ``dst``; False if the VOQ is full."""
+        if len(self.voqs[dst]) >= self.voq_capacity:
+            self.bulk_dropped += 1
+            return False
+        self.voqs[dst].append((slot, next(self._payload_ids)))
+        return True
+
+    def enqueue_quick(self, dst: int, slot: int) -> None:
+        """Queue a best-effort quick packet."""
+        self.quick_queue.append(
+            QuickPacket(self.node_id, dst, slot, next(self._payload_ids))
+        )
+
+    def request_multicast(self, targets: list[int], slot: int) -> None:
+        """Pre-schedule a multicast to ``targets`` via the precalculated
+        schedule (Section 4.3). Sent with the next configuration packet."""
+        self.pending_precalc = vector_to_mask(
+            [t in targets for t in range(VECTOR_BITS)]
+        )
+        self._precalc_payload = (slot, next(self._payload_ids))
+
+    # -- scheduling-stage protocol ----------------------------------------
+
+    def make_config(self) -> ConfigPacket:
+        """Build this slot's configuration packet from VOQ occupancy."""
+        req = vector_to_mask(
+            [bool(self.voqs[t]) for t in range(self.n_nodes)]
+            + [False] * (VECTOR_BITS - self.n_nodes)
+        )
+        packet = ConfigPacket(
+            req=req, pre=self.pending_precalc, ben=self.ben, qen=self.qen
+        )
+        return packet
+
+    def handle_grant(
+        self, grant: GrantPacket, multicast_targets: list[int] | None = None
+    ) -> list[BulkRequest]:
+        """React to the switch's grant: emit the bulk request(s) to send
+        in the transfer stage.
+
+        ``multicast_targets`` is the set of outputs the switch actually
+        connected for this host's precalculated schedule (empty/None if
+        none survived the integrity check).
+        """
+        if grant.link_err or grant.crc_err:
+            self.grant_errors += 1
+        requests: list[BulkRequest] = []
+
+        if multicast_targets:
+            slot, payload_id = self._precalc_payload or (0, next(self._payload_ids))
+            for dst in multicast_targets:
+                requests.append(BulkRequest(self.node_id, dst, slot, payload_id))
+            self.pending_precalc = 0
+            self._precalc_payload = None
+        elif grant.gnt_val:
+            dst = grant.gnt
+            if self.voqs[dst]:
+                t_generated, payload_id = self.voqs[dst].popleft()
+                requests.append(
+                    BulkRequest(self.node_id, dst, t_generated, payload_id)
+                )
+        self.bulk_sent += len(requests)
+        return requests
+
+    # -- receive side -------------------------------------------------------
+
+    def receive_bulk(self, request: BulkRequest, slot: int) -> BulkAck:
+        """Accept a bulk request and produce its acknowledgment."""
+        self.bulk_received += 1
+        self.received_latencies.append(slot - request.t_generated + 1)
+        return BulkAck(self.node_id, request.src, request.payload_id)
+
+    def receive_ack(self, ack: BulkAck) -> None:
+        self.acks_received += 1
+
+    def receive_quick(self, packet: QuickPacket, slot: int) -> None:
+        self.quick_received += 1
+
+    def has_bulk_backlog(self) -> bool:
+        return any(self.voqs)

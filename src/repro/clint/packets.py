@@ -1,0 +1,177 @@
+"""Clint packet formats (paper Section 4.1), bit-exact with CRC.
+
+Configuration packet (host -> switch, on the quick channel)::
+
+    {type=cfg | req[15..0] | pre[15..0] | ben[15..0] | qen[15..0] | CRC[15..0]}
+
+``req`` — requested targets; ``pre`` — the precalculated schedule
+(Section 4.3); ``ben``/``qen`` — bulk/quick initiator enables, used by
+the hosts to fence off malfunctioning hosts; ``CRC`` — checksum.
+
+Grant packet (switch -> host)::
+
+    {type=gnt | nodeId[3..0] | gnt[3..0] | gntVal | linkErr | CRCErr | CRC[15..0]}
+
+``nodeId`` assigns host ids at initialisation; ``gnt`` is the encoded
+granted target, valid iff ``gntVal``; ``linkErr`` reports a link error
+since the last grant; ``CRCErr`` reports that the last configuration
+packet was corrupt or missing.
+
+The 4-bit id/grant fields pin the maximum network size at 16 hosts —
+exactly the Clint prototype ("a star topology using a single switch
+that supports up to 16 host computers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clint.crc import crc16
+
+#: Packet type codes (one byte on the wire).
+TYPE_CFG = 0x01
+TYPE_GNT = 0x02
+
+#: Field width of the request/precalc/enable vectors — fixed at 16 by
+#: the packet format, hence the 16-host limit.
+VECTOR_BITS = 16
+MAX_NODES = 16
+
+
+def _check_vector(name: str, value: int) -> int:
+    if not 0 <= value < (1 << VECTOR_BITS):
+        raise ValueError(f"{name} must fit in {VECTOR_BITS} bits, got {value:#x}")
+    return value
+
+
+def vector_to_mask(bits) -> int:
+    """Pack an iterable of booleans (index = target) into a field mask."""
+    mask = 0
+    for index, bit in enumerate(bits):
+        if index >= VECTOR_BITS:
+            raise ValueError(f"vector longer than {VECTOR_BITS} bits")
+        if bit:
+            mask |= 1 << index
+    return mask
+
+
+def mask_to_vector(mask: int, n: int = VECTOR_BITS) -> list[bool]:
+    """Unpack a field mask into a boolean list of length ``n``."""
+    return [bool(mask >> i & 1) for i in range(n)]
+
+
+@dataclass(frozen=True)
+class ConfigPacket:
+    """Host-to-switch configuration packet."""
+
+    req: int
+    pre: int = 0
+    ben: int = (1 << VECTOR_BITS) - 1
+    qen: int = (1 << VECTOR_BITS) - 1
+
+    def __post_init__(self) -> None:
+        for name in ("req", "pre", "ben", "qen"):
+            _check_vector(name, getattr(self, name))
+
+    def body(self) -> bytes:
+        """Wire encoding without the trailing CRC."""
+        out = bytes([TYPE_CFG])
+        for field_value in (self.req, self.pre, self.ben, self.qen):
+            out += field_value.to_bytes(2, "big")
+        return out
+
+    def pack(self) -> bytes:
+        """Full wire encoding, CRC appended."""
+        body = self.body()
+        return body + crc16(body).to_bytes(2, "big")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ConfigPacket":
+        """Decode and CRC-check a received packet.
+
+        Raises ``ValueError`` on bad length, type, or checksum — the
+        caller maps that to the ``CRCErr`` protocol flag.
+        """
+        if len(data) != 11:
+            raise ValueError(f"config packet must be 11 bytes, got {len(data)}")
+        if data[0] != TYPE_CFG:
+            raise ValueError(f"not a config packet (type byte {data[0]:#x})")
+        body, received_crc = data[:-2], int.from_bytes(data[-2:], "big")
+        if crc16(body) != received_crc:
+            raise ValueError("config packet CRC mismatch")
+        fields = [int.from_bytes(data[1 + 2 * k : 3 + 2 * k], "big") for k in range(4)]
+        return cls(*fields)
+
+
+@dataclass(frozen=True)
+class GrantPacket:
+    """Switch-to-host grant packet."""
+
+    node_id: int
+    gnt: int = 0
+    gnt_val: bool = False
+    link_err: bool = False
+    crc_err: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.node_id < MAX_NODES:
+            raise ValueError(f"node_id must be 0..{MAX_NODES - 1}, got {self.node_id}")
+        if not 0 <= self.gnt < MAX_NODES:
+            raise ValueError(f"gnt must be 0..{MAX_NODES - 1}, got {self.gnt}")
+
+    def body(self) -> bytes:
+        flags = (
+            (int(self.gnt_val) << 2) | (int(self.link_err) << 1) | int(self.crc_err)
+        )
+        return bytes([TYPE_GNT, (self.node_id << 4) | self.gnt, flags])
+
+    def pack(self) -> bytes:
+        body = self.body()
+        return body + crc16(body).to_bytes(2, "big")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "GrantPacket":
+        if len(data) != 5:
+            raise ValueError(f"grant packet must be 5 bytes, got {len(data)}")
+        if data[0] != TYPE_GNT:
+            raise ValueError(f"not a grant packet (type byte {data[0]:#x})")
+        body, received_crc = data[:-2], int.from_bytes(data[-2:], "big")
+        if crc16(body) != received_crc:
+            raise ValueError("grant packet CRC mismatch")
+        return cls(
+            node_id=data[1] >> 4,
+            gnt=data[1] & 0x0F,
+            gnt_val=bool(data[2] >> 2 & 1),
+            link_err=bool(data[2] >> 1 & 1),
+            crc_err=bool(data[2] & 1),
+        )
+
+
+@dataclass(frozen=True)
+class BulkRequest:
+    """Bulk-channel data packet (``breq`` in Figure 5). The payload
+    carries the data; an acknowledgment is returned for every request."""
+
+    src: int
+    dst: int
+    t_generated: int
+    payload_id: int
+
+
+@dataclass(frozen=True)
+class BulkAck:
+    """Bulk acknowledgment (``back``), returned on the quick channel."""
+
+    src: int  # the acknowledging target
+    dst: int  # the original initiator
+    payload_id: int
+
+
+@dataclass(frozen=True)
+class QuickPacket:
+    """Best-effort quick-channel packet; dropped on collision."""
+
+    src: int
+    dst: int
+    t_generated: int
+    payload_id: int

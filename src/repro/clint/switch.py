@@ -1,0 +1,142 @@
+"""The Clint switch: LCF-scheduled bulk channel + best-effort quick channel.
+
+The bulk scheduler is the central LCF scheduler with the round-robin
+diagonal and the Section 4.3 precalculated-schedule stage — the exact
+configuration of the Clint FPGA. Configuration packets are CRC-checked;
+a corrupt or missing packet zeroes that host's requests for the cycle
+and raises ``CRCErr`` in the next grant (Section 4.1).
+
+The quick switch "takes a best-effort approach and packets are sent
+whenever they are available. If they collide in the switch, one packet
+wins and is forwarded while the other packets are dropped." Collision
+winners rotate so no input is structurally favoured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clint.packets import (
+    ConfigPacket,
+    GrantPacket,
+    QuickPacket,
+    mask_to_vector,
+)
+from repro.core.precalc import PrecalcResult, PrecalcScheduler
+from repro.types import NO_GRANT
+
+
+class ClintSwitch:
+    """Bulk (scheduled) and quick (best-effort) crossbars of one Clint node."""
+
+    def __init__(self, n_nodes: int):
+        self.n = n_nodes
+        self.bulk_scheduler = PrecalcScheduler(n_nodes)
+        self._crc_err = np.zeros(n_nodes, dtype=bool)
+        self._link_err = np.zeros(n_nodes, dtype=bool)
+        #: Quick-channel enables, ANDed from the hosts' qen fields each
+        #: scheduling cycle; a host vetoed here has its quick packets
+        #: discarded at the switch.
+        self._quick_enabled = np.ones(n_nodes, dtype=bool)
+        self._quick_rr = 0
+        self.quick_drops = 0
+        self.quick_fenced = 0
+        self.cfg_crc_errors = 0
+
+    # -- bulk channel scheduling stage -------------------------------------
+
+    def schedule_bulk(
+        self, raw_configs: list[bytes | None]
+    ) -> tuple[list[GrantPacket], PrecalcResult]:
+        """One scheduling stage: decode configuration packets, run the
+        two-stage LCF scheduler, emit grant packets.
+
+        ``raw_configs[i]`` is host ``i``'s packed configuration packet or
+        None if it was lost on the link.
+        """
+        n = self.n
+        requests = np.zeros((n, n), dtype=bool)
+        precalc = np.zeros((n, n), dtype=bool)
+        ben = np.ones(n, dtype=bool)
+        qen = np.ones(n, dtype=bool)
+
+        for i, raw in enumerate(raw_configs):
+            if raw is None:
+                self._crc_err[i] = True
+                self.cfg_crc_errors += 1
+                continue
+            try:
+                config = ConfigPacket.unpack(raw)
+            except ValueError:
+                self._crc_err[i] = True
+                self.cfg_crc_errors += 1
+                continue
+            requests[i] = mask_to_vector(config.req, n)
+            precalc[i] = mask_to_vector(config.pre, n)
+            # A host vetoed by any peer's ben/qen mask is fenced off
+            # ("hosts use these fields to disable malfunctioning hosts").
+            ben &= np.array(mask_to_vector(config.ben, n))
+            qen &= np.array(mask_to_vector(config.qen, n))
+        self._quick_enabled = qen
+
+        requests &= ben[:, np.newaxis]
+        precalc &= ben[:, np.newaxis]
+
+        result = self.bulk_scheduler.schedule(requests, precalc)
+
+        # Input-side view for the grant packets (unicast grants only; the
+        # multicast connections are communicated out of band by
+        # ClintNetwork, as the hardware does through the crossbar setup).
+        grants: list[GrantPacket] = []
+        for i in range(n):
+            j = result.lcf_schedule[i]
+            grants.append(
+                GrantPacket(
+                    node_id=i,
+                    gnt=int(j) if j != NO_GRANT else 0,
+                    gnt_val=j != NO_GRANT,
+                    link_err=bool(self._link_err[i]),
+                    crc_err=bool(self._crc_err[i]),
+                )
+            )
+        self._crc_err[:] = False
+        self._link_err[:] = False
+        return grants, result
+
+    def note_link_error(self, node_id: int) -> None:
+        """Record a link error to be reported in the next grant packet."""
+        self._link_err[node_id] = True
+
+    # -- quick channel -------------------------------------------------------
+
+    def forward_quick(
+        self, packets: list[QuickPacket]
+    ) -> tuple[list[QuickPacket], list[QuickPacket]]:
+        """Best-effort forwarding: per output, one winner per slot.
+
+        Returns ``(delivered, dropped)``. The collision winner is the
+        contender whose source is first at or after a rotating offset.
+        Packets from hosts fenced off via the qen masks are discarded
+        before arbitration.
+        """
+        by_output: dict[int, list[QuickPacket]] = {}
+        fenced: list[QuickPacket] = []
+        for packet in packets:
+            if not self._quick_enabled[packet.src]:
+                fenced.append(packet)
+                continue
+            by_output.setdefault(packet.dst, []).append(packet)
+        self.quick_fenced += len(fenced)
+
+        delivered: list[QuickPacket] = []
+        dropped: list[QuickPacket] = list(fenced)
+        for contenders in by_output.values():
+            if len(contenders) == 1:
+                delivered.append(contenders[0])
+                continue
+            contenders.sort(key=lambda p: (p.src - self._quick_rr) % self.n)
+            delivered.append(contenders[0])
+            dropped.extend(contenders[1:])
+        self.quick_drops += len(dropped)
+        self._quick_rr = (self._quick_rr + 1) % self.n
+        return delivered, dropped

@@ -1,0 +1,131 @@
+"""Multicast crossbar scheduling — the least-choice rule generalised.
+
+The paper supports multicast through the precalculated schedule
+(Section 4.3) and cites Prabhakar, McKeown & Ahuja's multicast
+scheduling work as reference [11]. This module builds the in-scheduler
+counterpart: inputs hold queues of multicast *cells*, each with a
+fanout set of destination outputs; the crossbar can copy one input to
+many outputs in a slot (the same capability the precalculated schedule
+exploits), and a scheduler decides which input each output listens to.
+
+With **fanout splitting**, a cell may be delivered to a subset of its
+fanout and stay queued with the *residue*. The scheduling discipline
+here is the LCF idea transplanted: every output grants the contending
+input whose head cell has the **fewest residual destinations** — the
+least choice left. Small residues finish and free their inputs, which
+is also how residue-concentration arguments (reference [11]) motivate
+focusing service. A seeded random policy is included as the baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import NO_GRANT
+
+
+@dataclass
+class MulticastCell:
+    """A fixed-size cell destined for a set of outputs."""
+
+    src: int
+    fanout: set[int]
+    t_generated: int
+    #: Outputs already served (fanout splitting).
+    delivered: set[int] = field(default_factory=set)
+
+    @property
+    def residue(self) -> set[int]:
+        """Destinations still waiting for their copy."""
+        return self.fanout - self.delivered
+
+    @property
+    def complete(self) -> bool:
+        return not self.residue
+
+
+class MulticastQueue:
+    """Per-input FIFO of multicast cells; only the head is schedulable
+    (the standard single-queue multicast model of reference [11])."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._cells: deque[MulticastCell] = deque()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def push(self, cell: MulticastCell) -> bool:
+        if len(self._cells) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._cells.append(cell)
+        return True
+
+    def head(self) -> MulticastCell | None:
+        return self._cells[0] if self._cells else None
+
+    def pop_if_complete(self) -> MulticastCell | None:
+        """Retire the head once its whole fanout is served."""
+        if self._cells and self._cells[0].complete:
+            return self._cells.popleft()
+        return None
+
+
+class MulticastScheduler:
+    """Least-residue-first multicast scheduling with fanout splitting.
+
+    Each slot, every output with contenders grants the input whose head
+    cell has the smallest residue; ties rotate. ``policy="random"``
+    replaces the residue rule with a uniform choice (the baseline).
+    """
+
+    def __init__(self, n: int, policy: str = "lcf", seed: int = 0):
+        if policy not in ("lcf", "random"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.n = n
+        self.policy = policy
+        self._rng = np.random.default_rng(seed)
+        self._offset = 0
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(0)
+        self._offset = 0
+
+    def schedule(self, heads: list[MulticastCell | None]) -> np.ndarray:
+        """Pick, for every output, the input it copies from this slot.
+
+        ``heads[i]`` is input ``i``'s head cell (or None). Returns the
+        output-side assignment ``T[j] = input or NO_GRANT``. One input
+        may serve many outputs — that is the multicast capability of the
+        fabric.
+        """
+        if len(heads) != self.n:
+            raise ValueError(f"need {self.n} head entries, got {len(heads)}")
+        assignment = np.full(self.n, NO_GRANT, dtype=np.int64)
+        for j in range(self.n):
+            contenders = [
+                i
+                for i, cell in enumerate(heads)
+                if cell is not None and j in cell.residue
+            ]
+            if not contenders:
+                continue
+            if self.policy == "random":
+                winner = int(self._rng.choice(contenders))
+            else:
+                # Least residue first; ties via the rotating chain.
+                winner = min(
+                    contenders,
+                    key=lambda i: (
+                        len(heads[i].residue),
+                        (i - self._offset) % self.n,
+                    ),
+                )
+            assignment[j] = winner
+        self._offset = (self._offset + 1) % self.n
+        return assignment

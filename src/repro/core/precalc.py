@@ -1,0 +1,137 @@
+"""The precalculated schedule (paper Section 4.3).
+
+Clint lets initiators pre-schedule connections — intended for real-time
+traffic and for multicast, where one initiator drives several targets in
+the same slot. The precalculated schedule arrives in the configuration
+packet (the ``pre`` field); the LCF scheduler then runs in two stages:
+
+1. **Integrity check** — the precalculated schedule is assumed conflict
+   free, but the scheduler verifies it: "The integrity is violated if
+   there are multiple requests for a target. In such a case, one request
+   is accepted and the remaining ones are dropped." (Which one survives
+   is not specified; we keep the lowest-numbered initiator and document
+   that choice.)
+2. **Regular LCF scheduling** over the initiators and targets not
+   consumed by stage 1.
+
+Because multicast connects one input to *several* outputs, the combined
+result is expressed output-side (``T[j] = input or NO_GRANT``) rather
+than as an input-side matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import Scheduler
+from repro.core.lcf_central import LCFCentralRR
+from repro.types import NO_GRANT, OutputSchedule, RequestMatrix, Schedule
+
+
+@dataclass
+class PrecalcResult:
+    """Outcome of one two-stage scheduling cycle."""
+
+    #: Combined connection table: ``output_schedule[j]`` is the input
+    #: driving output ``j`` (multicast inputs appear multiple times).
+    output_schedule: OutputSchedule
+    #: Precalculated pairs that passed the integrity check.
+    accepted_precalc: np.ndarray
+    #: Precalculated pairs dropped by the integrity check.
+    dropped_precalc: list[tuple[int, int]]
+    #: Stage-2 (regular LCF) grants, input side.
+    lcf_schedule: Schedule
+
+    @property
+    def integrity_ok(self) -> bool:
+        """True iff the precalculated schedule was conflict free as submitted."""
+        return not self.dropped_precalc
+
+    def connections(self) -> list[tuple[int, int]]:
+        """All (input, output) connections established this slot."""
+        return [
+            (int(i), int(j))
+            for j, i in enumerate(self.output_schedule)
+            if i != NO_GRANT
+        ]
+
+
+def check_precalc_integrity(
+    precalc: np.ndarray,
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Stage-1 integrity check of a precalculated schedule.
+
+    ``precalc[i, j]`` means initiator ``i`` pre-scheduled a connection to
+    target ``j``. Returns ``(accepted, dropped)`` where ``accepted`` is a
+    boolean matrix with at most one initiator per target and ``dropped``
+    lists the conflicting pairs that were discarded (lowest initiator
+    index wins each contested target).
+    """
+    precalc = np.asarray(precalc, dtype=bool)
+    if precalc.ndim != 2 or precalc.shape[0] != precalc.shape[1]:
+        raise ValueError(f"precalc schedule must be square, got {precalc.shape}")
+    accepted = precalc.copy()
+    dropped: list[tuple[int, int]] = []
+    for j in range(precalc.shape[1]):
+        contenders = np.flatnonzero(precalc[:, j])
+        for loser in contenders[1:]:
+            accepted[loser, j] = False
+            dropped.append((int(loser), int(j)))
+    return accepted, dropped
+
+
+class PrecalcScheduler:
+    """Two-stage scheduler: precalculated connections, then regular LCF.
+
+    Wraps any :class:`~repro.core.base.Scheduler` (default: the Figure 2
+    :class:`~repro.core.lcf_central.LCFCentralRR`, as in the Clint
+    hardware) and runs it over the residual request matrix. Inputs that
+    hold an accepted precalculated connection transmit their
+    pre-scheduled (possibly multicast) packet and are excluded from
+    stage 2; targets taken in stage 1 are likewise excluded. As the
+    paper notes, the precalculated schedule "can cause conflicts with the
+    round-robin positions and, thus, impact fairness" — the RR diagonal
+    keeps rotating regardless, but a masked position simply loses its
+    turn.
+    """
+
+    def __init__(self, n: int, scheduler: Scheduler | None = None):
+        self.n = n
+        self.scheduler = scheduler if scheduler is not None else LCFCentralRR(n)
+        if self.scheduler.n != n:
+            raise ValueError(
+                f"wrapped scheduler is for n={self.scheduler.n}, expected {n}"
+            )
+
+    def reset(self) -> None:
+        self.scheduler.reset()
+
+    def schedule(
+        self, requests: RequestMatrix, precalc: np.ndarray | None = None
+    ) -> PrecalcResult:
+        """Run one two-stage scheduling cycle."""
+        requests = np.asarray(requests, dtype=bool)
+        if precalc is None:
+            precalc = np.zeros((self.n, self.n), dtype=bool)
+        accepted, dropped = check_precalc_integrity(precalc)
+
+        busy_inputs = accepted.any(axis=1)
+        busy_outputs = accepted.any(axis=0)
+        residual = (
+            requests
+            & ~busy_inputs[:, np.newaxis]
+            & ~busy_outputs[np.newaxis, :]
+        )
+        lcf_schedule = self.scheduler.schedule(residual)
+
+        output_schedule = np.full(self.n, NO_GRANT, dtype=np.int64)
+        for j in range(self.n):
+            owners = np.flatnonzero(accepted[:, j])
+            if owners.size:
+                output_schedule[j] = owners[0]
+        for i, j in enumerate(lcf_schedule):
+            if j != NO_GRANT:
+                output_schedule[j] = i
+        return PrecalcResult(output_schedule, accepted, dropped, lcf_schedule)

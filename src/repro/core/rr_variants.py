@@ -1,0 +1,51 @@
+"""Round-robin coverage variants of the central LCF scheduler.
+
+Section 3 of the paper describes a *family* of fairness/throughput
+trade-offs: "Variations of the round-robin scheduler are possible in
+that a single position, a row or column are covered every scheduling
+cycle... The lower bound of this range is given by a pure LCF scheduler
+and the upper bound is given by a scheduler that uses a diagonal of
+round-robin positions all of which are scheduled before any other
+position is considered."
+
+The guaranteed per-(input, output)-pair bandwidth fraction spans:
+
+===================  ==============================================
+coverage             guaranteed fraction of port bandwidth ``b``
+===================  ==============================================
+``NONE``             0                (pure LCF, max throughput)
+``SINGLE``           b/n^2, one position visited every n^2 cycles
+``DIAGONAL``         b/n^2            (Figure 2 — the paper default)
+``DIAGONAL_FIRST``   b/n              (whole diagonal pre-granted)
+===================  ==============================================
+
+The algorithm lives in :mod:`repro.core.lcf_central`; this module adds
+the quantitative fairness bounds used by the ablation benchmark
+(``benchmarks/bench_ablation_rr.py``).
+"""
+
+from __future__ import annotations
+
+from repro.core.lcf_central import LCFCentralVariant, RRCoverage
+
+
+def guaranteed_fraction(coverage: RRCoverage, n: int) -> float:
+    """Hard lower bound on the fraction of output bandwidth each
+    (input, output) pair receives under saturation (Section 3)."""
+    if coverage is RRCoverage.NONE:
+        return 0.0
+    if coverage in (RRCoverage.SINGLE, RRCoverage.DIAGONAL):
+        return 1.0 / (n * n)
+    if coverage is RRCoverage.DIAGONAL_FIRST:
+        return 1.0 / n
+    raise ValueError(f"unknown coverage {coverage!r}")
+
+
+def make_variant(n: int, coverage: RRCoverage) -> LCFCentralVariant:
+    """Construct a central LCF scheduler with the given RR coverage."""
+    scheduler = LCFCentralVariant(n, coverage=coverage)
+    scheduler.name = f"lcf_central[{coverage.value}]"
+    return scheduler
+
+
+__all__ = ["RRCoverage", "LCFCentralVariant", "guaranteed_fraction", "make_variant"]

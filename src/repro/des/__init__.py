@@ -1,0 +1,16 @@
+"""Discrete-event simulation kernel and sub-slot timing models.
+
+The slot-synchronous simulator in :mod:`repro.sim` is the right tool
+for Figure 12; this package models *within-slot* timing: the paper's
+Section 1 reports that the Clint prototype "is re-scheduled every
+8.5 µs and the actual scheduling time is 1.3 µs", and Figure 5 lays out
+how configuration, grant, transfer, and acknowledgment packets overlap
+across the pipeline. :mod:`repro.des.clint_timing` reproduces those
+numbers event by event on the generic kernel in
+:mod:`repro.des.kernel`.
+"""
+
+from repro.des.kernel import EventScheduler
+from repro.des.clint_timing import BulkChannelTiming, ClintTimingParams
+
+__all__ = ["EventScheduler", "BulkChannelTiming", "ClintTimingParams"]

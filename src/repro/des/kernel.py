@@ -1,0 +1,80 @@
+"""A minimal discrete-event simulation kernel.
+
+Classic calendar-queue design: a binary heap of timestamped events,
+FIFO-stable for simultaneous events (a monotone sequence number breaks
+timestamp ties), with ``schedule_at`` / ``schedule_after`` and bounded
+or exhaustive ``run``. Event handlers are plain callables; handlers may
+schedule further events, including at the current time.
+
+Deliberately small — the point is an auditable substrate for the timing
+models, not a framework.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable
+
+
+class EventScheduler:
+    """Timestamp-ordered event executor."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, Callable[..., Any], tuple]] = []
+        self._sequence = count()
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def schedule_at(self, time: float, handler: Callable[..., Any], *args) -> None:
+        """Schedule ``handler(*args)`` at absolute ``time``.
+
+        Scheduling into the past is an error — it would silently reorder
+        causality.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}: simulation time is already {self._now}"
+            )
+        heapq.heappush(self._queue, (float(time), next(self._sequence), handler, args))
+
+    def schedule_after(self, delay: float, handler: Callable[..., Any], *args) -> None:
+        """Schedule ``handler(*args)`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, handler, *args)
+
+    def step(self) -> bool:
+        """Execute the earliest event; False if the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, handler, args = heapq.heappop(self._queue)
+        self._now = time
+        self.events_executed += 1
+        handler(*args)
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Execute every event with timestamp <= ``end_time`` and leave
+        the clock at ``end_time``."""
+        while self._queue and self._queue[0][0] <= end_time:
+            self.step()
+        self._now = max(self._now, float(end_time))
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run to quiescence (or ``max_events``); returns events executed."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return executed

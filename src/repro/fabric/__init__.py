@@ -1,0 +1,23 @@
+"""Non-blocking switch fabrics.
+
+The paper's switch model assumes "a non-blocking switch fabric such as
+the crossbar switch of Figure 1. Other non-blocking fabrics such as
+Clos networks are also possible [2]" (Section 2). This subpackage
+provides both:
+
+* :class:`~repro.fabric.crossbar.CrossbarFabric` — the n x n crossbar:
+  trivially non-blocking, ``n^2`` crosspoints;
+* :class:`~repro.fabric.clos.ClosNetwork` — the three-stage Clos
+  fabric: rearrangeably non-blocking for ``m >= k``, strictly
+  non-blocking for ``m >= 2k-1``, with the Slepian–Duguid route
+  assignment implemented via repeated bipartite matching.
+
+Any conflict-free schedule produced by the schedulers in
+:mod:`repro.core` / :mod:`repro.baselines` can be realised on either
+fabric; the Clos router returns the explicit middle-stage assignment.
+"""
+
+from repro.fabric.clos import ClosNetwork, ClosRouting
+from repro.fabric.crossbar import CrossbarFabric
+
+__all__ = ["CrossbarFabric", "ClosNetwork", "ClosRouting"]

@@ -1,0 +1,195 @@
+"""Three-stage Clos network (Clos 1953 — the paper's reference [2]).
+
+A ``C(m, k, r)`` Clos network switches ``N = k*r`` ports through three
+stages:
+
+* ``r`` ingress switches, each ``k x m`` (one link to every middle
+  switch);
+* ``m`` middle switches, each ``r x r``;
+* ``r`` egress switches, each ``m x k``.
+
+Classic results:
+
+* **rearrangeably non-blocking** iff ``m >= k`` — any (partial)
+  permutation of the N ports can be routed, possibly re-assigning
+  existing connections (Slepian–Duguid);
+* **strictly non-blocking** iff ``m >= 2k - 1`` — new connections never
+  require rearrangement (Clos's original theorem);
+* crosspoint cost ``2*r*k*m + m*r^2``, which beats the crossbar's
+  ``N^2`` for large ``N`` with ``m ~ k ~ sqrt(N)``.
+
+Routing a schedule means assigning each connection a middle switch such
+that no two connections from the same ingress switch — or to the same
+egress switch — share one. That is edge colouring of the bipartite
+ingress/egress demand multigraph with ``m`` colours. We implement the
+Slepian–Duguid construction: pad the demand matrix until every row and
+column sums to ``k`` (a ``k``-regular bipartite multigraph), then peel
+``k`` perfect matchings with Hopcroft–Karp (König's theorem guarantees
+they exist), one per middle switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.types import NO_GRANT, Schedule
+
+
+@dataclass(frozen=True)
+class ClosRouting:
+    """A realised schedule: per-connection middle-stage assignment."""
+
+    #: ``(input_port, output_port, middle_switch)`` per connection.
+    assignments: tuple[tuple[int, int, int], ...]
+
+    def middle_of(self, input_port: int, output_port: int) -> int | None:
+        for i, j, middle in self.assignments:
+            if i == input_port and j == output_port:
+                return middle
+        return None
+
+
+class ClosNetwork:
+    """A three-stage ``C(m, k, r)`` Clos network."""
+
+    def __init__(self, m: int, k: int, r: int):
+        if min(m, k, r) < 1:
+            raise ValueError(f"m, k, r must all be >= 1, got {(m, k, r)}")
+        self.m = m
+        self.k = k
+        self.r = r
+
+    @property
+    def n_ports(self) -> int:
+        return self.k * self.r
+
+    @property
+    def crosspoints(self) -> int:
+        """Total crosspoints: 2 r k m (outer stages) + m r^2 (middle)."""
+        return 2 * self.r * self.k * self.m + self.m * self.r * self.r
+
+    def is_rearrangeably_nonblocking(self) -> bool:
+        return self.m >= self.k
+
+    def is_strictly_nonblocking(self) -> bool:
+        return self.m >= 2 * self.k - 1
+
+    def ingress_of(self, port: int) -> int:
+        """Which ingress switch a port hangs off."""
+        return port // self.k
+
+    def egress_of(self, port: int) -> int:
+        return port // self.k
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, schedule: Schedule) -> ClosRouting:
+        """Assign a middle switch to every connection of a schedule.
+
+        Raises ``ValueError`` for conflicting schedules or when the
+        network is too thin (``m < k``) to carry a workload that needs
+        rearrangeable routing.
+        """
+        schedule = np.asarray(schedule, dtype=np.int64)
+        if schedule.shape != (self.n_ports,):
+            raise ValueError(
+                f"schedule must have shape ({self.n_ports},), got {schedule.shape}"
+            )
+        connections = [
+            (int(i), int(j)) for i, j in enumerate(schedule) if j != NO_GRANT
+        ]
+        outputs = [j for _, j in connections]
+        if len(set(outputs)) != len(outputs):
+            raise ValueError("schedule connects two inputs to one output")
+
+        # Demand multigraph between ingress and egress switches.
+        demand = np.zeros((self.r, self.r), dtype=np.int64)
+        for i, j in connections:
+            demand[self.ingress_of(i), self.egress_of(j)] += 1
+        if demand.sum() == 0:
+            return ClosRouting(())
+        peak = max(int(demand.sum(axis=1).max()), int(demand.sum(axis=0).max()))
+        if peak > self.m:
+            raise ValueError(
+                f"demand needs {peak} middle switches but the network has {self.m} "
+                "(m >= k is required for rearrangeable non-blocking routing)"
+            )
+
+        colours = self._edge_colour(demand, peak)
+
+        # Hand out the coloured ingress->egress slots to the concrete
+        # connections (connections within one (ingress, egress) pair are
+        # interchangeable).
+        pools: dict[tuple[int, int], list[int]] = {}
+        for colour, matching in enumerate(colours):
+            for a, b in matching:
+                pools.setdefault((a, b), []).append(colour)
+        assignments = []
+        for i, j in connections:
+            middle = pools[(self.ingress_of(i), self.egress_of(j))].pop()
+            assignments.append((i, j, middle))
+        return ClosRouting(tuple(assignments))
+
+    def _edge_colour(
+        self, demand: np.ndarray, colours_needed: int
+    ) -> list[list[tuple[int, int]]]:
+        """Decompose the demand multigraph into ``colours_needed``
+        matchings (Slepian–Duguid via padding + König)."""
+        work = demand.copy()
+        # Pad to a regular multigraph: every row and column sums to the
+        # peak degree. Padding greedily always succeeds because the
+        # total deficiency of rows equals that of columns.
+        row_slack = colours_needed - work.sum(axis=1)
+        col_slack = colours_needed - work.sum(axis=0)
+        for a in range(self.r):
+            for b in range(self.r):
+                add = min(row_slack[a], col_slack[b])
+                if add > 0:
+                    work[a, b] += add
+                    row_slack[a] -= add
+                    col_slack[b] -= add
+        assert not row_slack.any() and not col_slack.any()
+
+        matchings: list[list[tuple[int, int]]] = []
+        for _ in range(colours_needed):
+            support = work > 0
+            matching_vec = hopcroft_karp(support)
+            pairs = [
+                (int(a), int(b)) for a, b in enumerate(matching_vec) if b != NO_GRANT
+            ]
+            if len(pairs) != self.r:  # pragma: no cover - König guarantees this
+                raise AssertionError("regular multigraph missing a perfect matching")
+            for a, b in pairs:
+                work[a, b] -= 1
+            # Only the real (unpadded) demand becomes routed connections.
+            matchings.append([(a, b) for a, b in pairs if demand[a, b] > 0])
+            for a, b in pairs:
+                if demand[a, b] > 0:
+                    demand[a, b] -= 1
+        return matchings
+
+    def validate_routing(self, routing: ClosRouting) -> bool:
+        """Check the fundamental Clos constraint: within one middle
+        switch, at most one connection per ingress and per egress."""
+        used_in: set[tuple[int, int]] = set()
+        used_out: set[tuple[int, int]] = set()
+        for i, j, middle in routing.assignments:
+            key_in = (middle, self.ingress_of(i))
+            key_out = (middle, self.egress_of(j))
+            if key_in in used_in or key_out in used_out:
+                return False
+            used_in.add(key_in)
+            used_out.add(key_out)
+        return True
+
+
+def square_clos(n_ports: int) -> ClosNetwork:
+    """The classic cost-minimising square construction: ``k = r ≈
+    sqrt(N)``, ``m = k`` (rearrangeably non-blocking)."""
+    k = int(round(n_ports**0.5))
+    while n_ports % k:
+        k -= 1
+    return ClosNetwork(m=k, k=k, r=n_ports // k)

@@ -1,0 +1,54 @@
+"""The crossbar fabric (paper Figure 1).
+
+A full crosspoint matrix: any conflict-free schedule is realisable by
+closing one crosspoint per granted (input, output) pair. The cost is
+``n^2`` crosspoints — the number the Clos construction exists to beat
+for large ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.verify import is_conflict_free
+from repro.types import NO_GRANT, Schedule
+
+
+class CrossbarFabric:
+    """An ``n x n`` crossbar switch fabric."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"need at least one port, got n={n}")
+        self.n = n
+
+    @property
+    def crosspoints(self) -> int:
+        """Hardware cost in crosspoints."""
+        return self.n * self.n
+
+    def is_nonblocking(self) -> bool:
+        """A crossbar is strictly non-blocking by construction."""
+        return True
+
+    def configure(self, schedule: Schedule) -> np.ndarray:
+        """Close the crosspoints for a schedule.
+
+        Returns the boolean crosspoint matrix; raises on conflicting or
+        out-of-range schedules (the fabric cannot merge two inputs onto
+        one output).
+        """
+        if schedule.shape != (self.n,):
+            raise ValueError(
+                f"schedule must have shape ({self.n},), got {schedule.shape}"
+            )
+        if not is_conflict_free(schedule):
+            raise ValueError("schedule connects two inputs to one output")
+        state = np.zeros((self.n, self.n), dtype=bool)
+        for i, j in enumerate(schedule):
+            if j == NO_GRANT:
+                continue
+            if not 0 <= j < self.n:
+                raise ValueError(f"output {j} out of range")
+            state[i, j] = True
+        return state

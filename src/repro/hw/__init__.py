@@ -1,0 +1,32 @@
+"""Hardware implementation models (paper Sections 4.2, 6.1, 6.2).
+
+The paper's artefact is a Xilinx XCV600 FPGA implementation; we
+substitute faithful Python models:
+
+* :mod:`repro.hw.encoding` — inverse-unary number encoding and the
+  open-collector priority bus (wired-AND arbitration).
+* :mod:`repro.hw.rtl` — a register-level simulation of the Figure 6
+  datapath (NRQ/PRIO shift registers, CP/NGT flags, two-phase bus
+  arbitration), property-tested to be decision-equivalent to the
+  behavioural :class:`~repro.core.lcf_central.LCFCentralRR`.
+* :mod:`repro.hw.cost` — the Table 1 gate/register cost model.
+* :mod:`repro.hw.timing` — the Table 2 cycle/latency model.
+* :mod:`repro.hw.comm` — the Section 6.2 communication-cost model.
+"""
+
+from repro.hw.comm import central_bits, distributed_bits
+from repro.hw.cost import CostReport, cost_report, table1
+from repro.hw.rtl import LCFSchedulerRTL
+from repro.hw.timing import TimingReport, table2, timing_report
+
+__all__ = [
+    "LCFSchedulerRTL",
+    "CostReport",
+    "cost_report",
+    "table1",
+    "TimingReport",
+    "timing_report",
+    "table2",
+    "central_bits",
+    "distributed_bits",
+]

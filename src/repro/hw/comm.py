@@ -1,0 +1,89 @@
+"""Communication-cost model (Section 6.2, Figure 10).
+
+Message encodings:
+
+* **Central scheduler** — every input sends its request vector
+  ``req(n)`` to the scheduler and receives ``gnt(log2 n)`` plus a valid
+  bit back: ``n * (n + log2 n + 1)`` bits per scheduling cycle.
+* **Distributed scheduler** — per iteration, each of the ``n^2``
+  (input, output) pairs may carry ``req(1) + nrq(log2 n)`` towards the
+  target and ``gnt(1) + ngt(log2 n)`` plus ``acc(1)`` back:
+  ``i * n^2 * (2 log2 n + 3)`` bits for ``i`` iterations.
+
+"Comparing the two schemes the distributed scheduler has significantly
+higher communication demands since the priorities have to be explicitly
+sent, and, possibly, have to be sent to multiple resources."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _log2_ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 1
+
+
+@dataclass(frozen=True)
+class MessageBreakdown:
+    """Per-message field widths for one scheduler style."""
+
+    fields: dict[str, int]
+
+    @property
+    def bits(self) -> int:
+        return sum(self.fields.values())
+
+
+def central_messages(n: int) -> dict[str, MessageBreakdown]:
+    """Figure 10a field widths: request up, grant down, per input port."""
+    return {
+        "request": MessageBreakdown({"req": n}),
+        "grant": MessageBreakdown({"gnt": _log2_ceil(n), "vld": 1}),
+    }
+
+
+def distributed_messages(n: int) -> dict[str, MessageBreakdown]:
+    """Figure 10b field widths, per (input, output) pair per iteration."""
+    log2n = _log2_ceil(n)
+    return {
+        "request": MessageBreakdown({"req": 1, "nrq": log2n}),
+        "grant": MessageBreakdown({"gnt": 1, "ngt": log2n}),
+        "accept": MessageBreakdown({"acc": 1}),
+    }
+
+
+def central_bits(n: int) -> int:
+    """Total bits exchanged per scheduling cycle, central scheduler:
+    ``n (n + log2 n + 1)``."""
+    return n * (n + _log2_ceil(n) + 1)
+
+
+def distributed_bits(n: int, iterations: int) -> int:
+    """Total bits per scheduling cycle, distributed scheduler:
+    ``i n^2 (2 log2 n + 3)``."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    return iterations * n * n * (2 * _log2_ceil(n) + 3)
+
+
+def comm_ratio(n: int, iterations: int) -> float:
+    """Distributed-over-central communication blow-up factor."""
+    return distributed_bits(n, iterations) / central_bits(n)
+
+
+def comm_table(
+    port_counts: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    iterations: int = 4,
+) -> list[dict[str, int | float]]:
+    """Section 6.2 comparison over a range of switch widths."""
+    return [
+        {
+            "n": n,
+            "central_bits": central_bits(n),
+            "distributed_bits": distributed_bits(n, iterations),
+            "ratio": round(comm_ratio(n, iterations), 2),
+        }
+        for n in port_counts
+    ]

@@ -1,0 +1,103 @@
+"""Unary encodings and the open-collector priority bus (Section 4.2).
+
+The hardware compares priorities without a comparator tree: each value
+is held in a shift register as a *unary* bit pattern, and all
+contenders drive their pattern onto a shared open-collector bus. On
+such a bus a low (0) level is dominant, so the sampled value is the
+bitwise AND of all driven patterns — which, for unary patterns with the
+set bits packed at the low end, is exactly the *minimum* of the driven
+values: "Higher NRQ values indicating lower priorities are overwritten
+with lower NRQ values. If, for example, one requester has three requests
+and another has one request, vectors 0...0111 and 0...0001,
+respectively, are written to the bus. Sampling the bus, 0...0001 will
+be seen."
+
+(The paper also prints the register content as ``1...1000`` — the
+active-low register view of the same code; we model the logical view.)
+
+Decrementing a unary value is a single shift — the trick the NRQ
+registers use when a scheduled column retires one of an input's
+requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def unary_encode(value: int, width: int) -> np.ndarray:
+    """Encode ``value`` as a unary pattern: the ``value`` lowest bits set.
+
+    ``unary_encode(3, 8)`` -> ``00000111`` (printed LSB-last), the bus
+    pattern of a requester with three outstanding requests.
+    """
+    if not 0 <= value <= width:
+        raise ValueError(f"value {value} not representable in {width} unary bits")
+    bits = np.zeros(width, dtype=bool)
+    bits[:value] = True
+    return bits
+
+
+def unary_decode(bits: np.ndarray) -> int:
+    """Decode a unary pattern back to its integer value.
+
+    Raises ``ValueError`` on non-contiguous patterns — a corrupted shift
+    register.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    value = int(bits.sum())
+    if not bits[:value].all():
+        raise ValueError(f"non-contiguous unary pattern {bits.astype(int).tolist()}")
+    return value
+
+
+def unary_decrement(bits: np.ndarray) -> np.ndarray:
+    """Shift one set bit out — the hardware's decrement-by-shift.
+
+    Decrementing zero stays zero (the hardware masks the shift enable
+    with a non-zero detect).
+    """
+    bits = np.asarray(bits, dtype=bool)
+    out = np.zeros_like(bits)
+    out[:-1] = bits[1:]
+    return out
+
+
+class OpenCollectorBus:
+    """Wired-AND bus: dominant-low open-collector lines.
+
+    Devices ``drive`` patterns during a phase; ``sample`` returns the
+    AND of everything driven (all-high when idle, as pulled up).
+    ``release`` starts the next phase.
+    """
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError(f"bus width must be >= 1, got {width}")
+        self.width = width
+        self._lines = np.ones(width, dtype=bool)
+        self._driven = False
+
+    def release(self) -> None:
+        """Let the pull-ups restore the idle (all-high) level."""
+        self._lines[:] = True
+        self._driven = False
+
+    def drive(self, pattern: np.ndarray) -> None:
+        """Drive a pattern; zeros pull their lines low (dominant)."""
+        pattern = np.asarray(pattern, dtype=bool)
+        if pattern.shape != (self.width,):
+            raise ValueError(
+                f"pattern width {pattern.shape} does not match bus width {self.width}"
+            )
+        self._lines &= pattern
+        self._driven = True
+
+    @property
+    def driven(self) -> bool:
+        """Whether any device drove the bus this phase."""
+        return self._driven
+
+    def sample(self) -> np.ndarray:
+        """Read the resolved bus level."""
+        return self._lines.copy()

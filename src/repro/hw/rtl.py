@@ -1,0 +1,237 @@
+"""Register-level model of the central LCF scheduler hardware (Figure 6).
+
+Each requester slice holds the registers of the block diagram:
+
+* ``R[i, 0..n-1]`` — the request row;
+* ``NRQ`` — the number of outstanding requests, as a unary shift
+  register (decrement = shift);
+* ``PRIO`` — the requester's position in the rotating priority chain,
+  as a unary shift register; together with the open-collector bus the
+  PRIO registers form a programmable priority encoder;
+* ``GNT`` — the granted resource;
+* ``CP`` — "compare" flag: this requester tied for the minimum NRQ;
+* ``NGT`` — "not granted yet" flag gating participation.
+
+Scheduling one resource takes two bus phases:
+
+1. requesters with a request for the current resource drive ``NRQ``;
+   the wired-AND bus resolves to the minimum; requesters matching the
+   bus set ``CP``;
+2. requesters with ``CP`` — plus the chain head unconditionally, which
+   implements the round-robin position — drive ``PRIO``; the unique
+   minimum wins and latches ``RES`` into ``GNT``.
+
+Between resources the NRQ registers shift to retire requests for the
+just-scheduled column, the PRIO registers rotate, and RES increments.
+One extra PRIO shift per scheduling cycle and one extra RES increment
+every ``n`` cycles walk the round-robin diagonal across the whole
+matrix, exactly like the behavioural scheduler's ``(I, J)`` offsets.
+
+The model is decision-equivalent to
+:class:`~repro.core.lcf_central.LCFCentralRR` (property-tested in
+``tests/hw/test_rtl.py``) and its cycle counts match Table 2:
+``3n + 2`` for the LCF schedule and ``2n + 1`` for the precalculated-
+schedule integrity check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.precalc import check_precalc_integrity
+from repro.hw.encoding import OpenCollectorBus, unary_decrement, unary_encode
+from repro.types import NO_GRANT, OutputSchedule, RequestMatrix, Schedule, empty_schedule
+
+
+class _RequesterSlice:
+    """The per-requester logic block of Figure 6."""
+
+    def __init__(self, index: int, n: int):
+        self.index = index
+        self.n = n
+        self.row = np.zeros(n, dtype=bool)  # request register R[i, *]
+        self.nrq = np.zeros(n, dtype=bool)  # unary shift register
+        self.prio = np.zeros(n, dtype=bool)  # unary shift register
+        self.gnt = NO_GRANT
+        self.cp = False
+        self.ngt = False
+
+    def load(self, row: np.ndarray, chain_position: int) -> None:
+        """Start-of-cycle load: capture requests, sum them into NRQ,
+        set NGT, and program the priority chain position."""
+        self.row = row.copy()
+        self.nrq = unary_encode(int(row.sum()), self.n)
+        self.prio = unary_encode(chain_position + 1, self.n)
+        self.gnt = NO_GRANT
+        self.cp = False
+        self.ngt = bool(row.any())
+
+    @property
+    def chain_position(self) -> int:
+        """0 = chain head (the round-robin position for this resource)."""
+        return int(self.prio.sum()) - 1
+
+    def participates(self, column: int) -> bool:
+        """Drive the bus this resource? Needs a request and no grant yet."""
+        return self.ngt and bool(self.row[column])
+
+    def rotate_prio(self) -> None:
+        """Shift the priority chain: everyone moves one step towards the
+        head; the head wraps to the tail (all-ones pattern)."""
+        if self.chain_position == 0:
+            self.prio = unary_encode(self.n, self.n)
+        else:
+            self.prio = unary_decrement(self.prio)
+
+    def retire_request(self, column: int) -> None:
+        """Shift NRQ down when the scheduled column held one of our requests."""
+        if self.row[column]:
+            self.nrq = unary_decrement(self.nrq)
+
+
+class LCFSchedulerRTL:
+    """Cycle-counted register-level central LCF scheduler.
+
+    Drop-in decision-equivalent to the behavioural
+    :class:`~repro.core.lcf_central.LCFCentralRR`; exposes the cycle
+    counts of Table 2 via :attr:`last_cycles` / :attr:`total_cycles`.
+    """
+
+    name = "lcf_central_rr_rtl"
+
+    #: Clock frequency of the Clint FPGA implementation (Section 6.1).
+    CLOCK_MHZ = 66.0
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"need at least one port, got n={n}")
+        self.n = n
+        self.slices = [_RequesterSlice(i, n) for i in range(n)]
+        self.bus = OpenCollectorBus(n)
+        self._i = 0  # round-robin requester offset (PRIO chain origin)
+        self._j = 0  # round-robin resource offset (initial RES)
+        self.last_cycles = 0
+        self.total_cycles = 0
+
+    # -- state sync with the behavioural scheduler ----------------------
+
+    @property
+    def rr_offsets(self) -> tuple[int, int]:
+        return self._i, self._j
+
+    def set_rr_offsets(self, i: int, j: int) -> None:
+        self._i = i % self.n
+        self._j = j % self.n
+
+    def reset(self) -> None:
+        self._i = 0
+        self._j = 0
+        self.last_cycles = 0
+        self.total_cycles = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, requests: RequestMatrix) -> Schedule:
+        """One LCF scheduling cycle (no precalculated schedule)."""
+        output = self.schedule_with_precalc(requests, None)
+        schedule = empty_schedule(self.n)
+        for j, i in enumerate(output):
+            if i != NO_GRANT:
+                schedule[i] = j
+        return schedule
+
+    def schedule_with_precalc(
+        self, requests: RequestMatrix, precalc: np.ndarray | None
+    ) -> OutputSchedule:
+        """Two-stage cycle: precalc integrity check (2n+1 cycles, if a
+        precalculated schedule is present) then LCF (3n+2 cycles)."""
+        requests = np.asarray(requests, dtype=bool)
+        if requests.shape != (self.n, self.n):
+            raise ValueError(
+                f"request matrix must be {self.n}x{self.n}, got {requests.shape}"
+            )
+        n = self.n
+        cycles = 0
+        output = np.full(n, NO_GRANT, dtype=np.int64)
+        taken_cols = np.zeros(n, dtype=bool)
+        busy_inputs = np.zeros(n, dtype=bool)
+
+        if precalc is not None:
+            # Stage 1: one pass over the resources checking the precalc
+            # columns for conflicts (2 cycles per resource + 1 setup).
+            accepted, _dropped = check_precalc_integrity(precalc)
+            for j in range(n):
+                owners = np.flatnonzero(accepted[:, j])
+                if owners.size:
+                    output[j] = owners[0]
+                    taken_cols[j] = True
+                    busy_inputs[owners[0]] = True
+            cycles += 2 * n + 1
+
+        # LCF stage init cycle: load request rows (masked by the precalc
+        # stage), sum NRQ, set NGT, program the PRIO chain.
+        for i, slice_ in enumerate(self.slices):
+            visible = requests[i] & ~taken_cols
+            if busy_inputs[i]:
+                visible = np.zeros(n, dtype=bool)
+            slice_.load(visible, (i - self._i) % n)
+        cycles += 1
+
+        for step in range(n):
+            column = (self._j + step) % n
+            cycles += 3  # NRQ-update/shift cycle + two bus phases
+            if not taken_cols[column]:
+                winner = self._arbitrate(column)
+                if winner is not None:
+                    output[column] = winner
+                    taken_cols[column] = True
+            # Retire requests for the scheduled column and rotate the chain.
+            for slice_ in self.slices:
+                if slice_.ngt:
+                    slice_.retire_request(column)
+                slice_.rotate_prio()
+
+        cycles += 1  # final PRIO shift / RES increment cycle
+        self._advance()
+        self.last_cycles = cycles
+        self.total_cycles += cycles
+        return output
+
+    def _arbitrate(self, column: int) -> int | None:
+        """The two bus phases for one resource; returns the winner index."""
+        participants = [s for s in self.slices if s.participates(column)]
+        if not participants:
+            return None
+
+        # Phase 1: drive NRQ; minimum survives the wired-AND.
+        self.bus.release()
+        for slice_ in participants:
+            self.bus.drive(slice_.nrq)
+        level = self.bus.sample()
+        for slice_ in self.slices:
+            slice_.cp = False
+        for slice_ in participants:
+            slice_.cp = bool(np.array_equal(slice_.nrq, level))
+
+        # Phase 2: CP holders drive PRIO; the chain head participates
+        # regardless of CP — that is the round-robin position's
+        # unconditional win.
+        self.bus.release()
+        contenders = [s for s in participants if s.cp or s.chain_position == 0]
+        for slice_ in contenders:
+            self.bus.drive(slice_.prio)
+        level = self.bus.sample()
+        for slice_ in contenders:
+            if np.array_equal(slice_.prio, level):
+                slice_.gnt = column
+                slice_.ngt = False
+                return slice_.index
+        raise AssertionError("priority bus did not resolve a unique winner")
+
+    def _advance(self) -> None:
+        """End-of-cycle diagonal walk, identical to the behavioural
+        scheduler: extra PRIO shift advances I; every n cycles the extra
+        RES increment advances J."""
+        self._i = (self._i + 1) % self.n
+        if self._i == 0:
+            self._j = (self._j + 1) % self.n

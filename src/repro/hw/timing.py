@@ -1,0 +1,96 @@
+"""Scheduling-time model reproducing Table 2 (Section 6.1) and the
+Section 6.2 speed comparison.
+
+Table 2 (n = 16 ports, 66 MHz clock):
+
+======================  =============  ============  =======
+task                    decomposition  clock cycles  time
+======================  =============  ============  =======
+check prec. schedule    2n+1           33            500 ns
+calculate LCF schedule  3n+2           50            758 ns
+total                   5n+3           83            1258 ns
+======================  =============  ============  =======
+
+Section 6.2: "The time complexity for the central scheduler is O(n)
+since targets are scheduled sequentially... the time complexity for the
+distributed scheduler is O(log2 n) assuming it takes one time step for
+each iteration."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Clock frequency of the Clint FPGA prototype.
+CLINT_CLOCK_MHZ = 66.0
+
+
+def cycles_check_precalc(n: int) -> int:
+    """Clock cycles of the precalculated-schedule integrity check: 2n+1."""
+    return 2 * n + 1
+
+
+def cycles_lcf(n: int) -> int:
+    """Clock cycles of the LCF schedule calculation: 3n+2."""
+    return 3 * n + 2
+
+
+def cycles_total(n: int) -> int:
+    """Total scheduling cycles: 5n+3."""
+    return 5 * n + 3
+
+
+def cycles_to_ns(cycles: int, clock_mhz: float = CLINT_CLOCK_MHZ) -> int:
+    """Convert a cycle count to nanoseconds, rounded like the paper
+    (33 cycles at 66 MHz -> 500 ns)."""
+    return round(cycles * 1000.0 / clock_mhz)
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """One row of Table 2."""
+
+    task: str
+    decomposition: str
+    cycles: int
+    time_ns: int
+
+
+def timing_report(n: int, clock_mhz: float = CLINT_CLOCK_MHZ) -> list[TimingReport]:
+    """Table 2 rows for a given port count and clock."""
+    rows = [
+        ("Check prec. schedule", "2n+1", cycles_check_precalc(n)),
+        ("Calculate LCF schedule", "3n+2", cycles_lcf(n)),
+        ("Total", "5n+3", cycles_total(n)),
+    ]
+    return [
+        TimingReport(task, decomposition, cycles, cycles_to_ns(cycles, clock_mhz))
+        for task, decomposition, cycles in rows
+    ]
+
+
+def table2(n: int = 16) -> list[TimingReport]:
+    """Table 2 at the paper's configuration."""
+    return timing_report(n)
+
+
+# -- asymptotic speed comparison (Section 6.2) ---------------------------
+
+def central_time_steps(n: int) -> int:
+    """Central scheduler: one time step per sequentially scheduled target."""
+    return n
+
+
+def distributed_time_steps(n: int, iterations: int | None = None) -> int:
+    """Distributed scheduler: one time step per iteration; ``O(log2 n)``
+    iterations suffice for a near-optimal schedule (the paper's Section
+    6.2 assumption, inherited from PIM's convergence analysis)."""
+    if iterations is None:
+        iterations = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+    return iterations
+
+
+def speedup_distributed_over_central(n: int) -> float:
+    """How much faster the distributed scheduler is for ``n`` ports."""
+    return central_time_steps(n) / distributed_time_steps(n)

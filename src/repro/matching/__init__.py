@@ -1,0 +1,34 @@
+"""Bipartite-matching substrate.
+
+Switch scheduling is bipartite matching between input and output ports
+(paper, Section 1). This subpackage provides:
+
+* :mod:`repro.matching.verify` — validity / maximality checkers used by the
+  schedulers' tests and by the simulator's debug mode;
+* :mod:`repro.matching.hopcroft_karp` — a from-scratch maximum-size matcher
+  (Hopcroft & Karp, the paper's reference [7]) used as an optimality
+  yardstick and to demonstrate that pure maximum-size matching starves;
+* :mod:`repro.matching.properties` — structural properties (matching size
+  bounds, augmenting paths) used by property-based tests.
+"""
+
+from repro.matching.hopcroft_karp import hopcroft_karp, maximum_matching_size
+from repro.matching.verify import (
+    is_conflict_free,
+    is_maximal,
+    is_valid_schedule,
+    matching_size,
+    schedule_to_matrix,
+    schedule_to_pairs,
+)
+
+__all__ = [
+    "hopcroft_karp",
+    "maximum_matching_size",
+    "is_conflict_free",
+    "is_maximal",
+    "is_valid_schedule",
+    "matching_size",
+    "schedule_to_matrix",
+    "schedule_to_pairs",
+]

@@ -1,0 +1,94 @@
+"""Structural matching properties used by tests and analysis.
+
+The headline fact motivating LCF (Section 3) is that any *maximal*
+matching has at least half the size of a *maximum* matching, and that
+granting low-degree (few-choice) inputs first tends to close the gap.
+These helpers quantify that gap and locate the structures (augmenting
+paths, Hall violators) behind it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.matching.hopcroft_karp import maximum_matching_size
+from repro.matching.verify import matching_size
+from repro.types import NO_GRANT, RequestMatrix, Schedule
+
+
+def matching_efficiency(requests: RequestMatrix, schedule: Schedule) -> float:
+    """Ratio of the schedule's size to the maximum matching size (1.0 = optimal).
+
+    Returns 1.0 for an empty request matrix (nothing to match).
+    """
+    best = maximum_matching_size(requests)
+    if best == 0:
+        return 1.0
+    return matching_size(schedule) / best
+
+
+def has_augmenting_path(requests: RequestMatrix, schedule: Schedule) -> bool:
+    """True iff the schedule admits an alternating augmenting path.
+
+    By Berge's lemma this is equivalent to the schedule not being of
+    maximum size.
+    """
+    return matching_size(schedule) < maximum_matching_size(requests)
+
+
+def deficiency(requests: RequestMatrix) -> int:
+    """Number of inputs with requests that cannot all be matched simultaneously.
+
+    ``deficiency = (#inputs with >=1 request) - maximum matching size``;
+    it is positive exactly when some set of inputs violates Hall's
+    condition.
+    """
+    active = int(np.count_nonzero(requests.any(axis=1)))
+    return active - maximum_matching_size(requests)
+
+
+def hall_violator(requests: RequestMatrix) -> tuple[int, ...] | None:
+    """Return a smallest set of inputs whose joint neighbourhood is smaller
+    than the set, or None if Hall's condition holds.
+
+    Exponential search — intended for the small matrices used in tests
+    and worked examples, not for production scheduling.
+    """
+    n = requests.shape[0]
+    active = [i for i in range(n) if requests[i].any()]
+    for size in range(1, len(active) + 1):
+        for subset in combinations(active, size):
+            neighbourhood = np.zeros(n, dtype=bool)
+            for i in subset:
+                neighbourhood |= requests[i]
+            if int(neighbourhood.sum()) < size:
+                return subset
+    return None
+
+
+def request_degrees(requests: RequestMatrix) -> np.ndarray:
+    """Per-input request counts (the paper's NRQ column of Figure 3)."""
+    return requests.sum(axis=1).astype(np.int64)
+
+
+def choice_histogram(requests: RequestMatrix) -> dict[int, int]:
+    """Histogram of request degrees: ``{degree: #inputs}``.
+
+    LCF's premise is that the left tail of this histogram (inputs with
+    few choices) should be served first.
+    """
+    degrees = request_degrees(requests)
+    values, counts = np.unique(degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def greedy_matching_lower_bound(requests: RequestMatrix) -> float:
+    """Lower bound on any maximal matching: half the maximum size.
+
+    Classic result: a maximal matching M and a maximum matching M* satisfy
+    ``|M| >= |M*| / 2`` because each edge of M can block at most two edges
+    of M*.
+    """
+    return maximum_matching_size(requests) / 2.0

@@ -1,0 +1,86 @@
+"""Schedule validity and maximality checks.
+
+These are the invariants every scheduler in the package must satisfy:
+a schedule is *valid* if it only grants requested pairs and is
+*conflict free* if no output is granted to two inputs. The LCF family
+additionally produces *maximal* matchings (no grantable pair left
+unmatched); PIM/iSLIP only converge to maximal after enough iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import NO_GRANT, RequestMatrix, Schedule
+
+
+def is_conflict_free(schedule: Schedule) -> bool:
+    """True iff no output port is granted to more than one input."""
+    granted = schedule[schedule != NO_GRANT]
+    return len(np.unique(granted)) == len(granted)
+
+
+def is_valid_schedule(requests: RequestMatrix, schedule: Schedule) -> bool:
+    """True iff ``schedule`` is conflict free and only grants requested pairs."""
+    n = requests.shape[0]
+    if schedule.shape != (n,):
+        return False
+    if not is_conflict_free(schedule):
+        return False
+    for i, j in enumerate(schedule):
+        if j == NO_GRANT:
+            continue
+        if not (0 <= j < n) or not requests[i, j]:
+            return False
+    return True
+
+
+def is_maximal(requests: RequestMatrix, schedule: Schedule) -> bool:
+    """True iff no unmatched (input, output) pair with a request remains.
+
+    A maximal matching cannot be grown by adding a single edge; it is the
+    weakest optimality property a work-conserving crossbar scheduler
+    should provide.
+    """
+    n = requests.shape[0]
+    free_inputs = schedule == NO_GRANT
+    granted_outputs = schedule[schedule != NO_GRANT]
+    free_outputs = np.ones(n, dtype=bool)
+    free_outputs[granted_outputs] = False
+    # An augmenting single edge exists iff some free input requests a free output.
+    return not np.any(requests[free_inputs][:, free_outputs])
+
+
+def matching_size(schedule: Schedule) -> int:
+    """Number of granted (input, output) pairs in the schedule."""
+    return int(np.count_nonzero(schedule != NO_GRANT))
+
+
+def schedule_to_pairs(schedule: Schedule) -> list[tuple[int, int]]:
+    """Return the granted pairs as a sorted list of ``(input, output)``."""
+    return [(int(i), int(j)) for i, j in enumerate(schedule) if j != NO_GRANT]
+
+
+def schedule_to_matrix(schedule: Schedule, n: int | None = None) -> np.ndarray:
+    """Expand a schedule into a boolean permutation-submatrix ``G``.
+
+    ``G[i, j]`` is True iff input ``i`` was granted output ``j``.
+    """
+    if n is None:
+        n = len(schedule)
+    grant = np.zeros((len(schedule), n), dtype=bool)
+    for i, j in enumerate(schedule):
+        if j != NO_GRANT:
+            grant[i, j] = True
+    return grant
+
+
+def output_view(schedule: Schedule, n: int | None = None) -> np.ndarray:
+    """Transpose a schedule to the output side: ``T[j] = i`` or ``NO_GRANT``."""
+    if n is None:
+        n = len(schedule)
+    out = np.full(n, NO_GRANT, dtype=np.int64)
+    for i, j in enumerate(schedule):
+        if j != NO_GRANT:
+            out[j] = i
+    return out

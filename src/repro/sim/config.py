@@ -1,0 +1,58 @@
+"""Simulation configuration with the paper's Section 6.3 defaults.
+
+"The following parameters were used: the switch has 16 ports; each VOQ
+has 256 entries and the PQ has 1000 entries; it takes the iterative
+schedulers pim, lcf_dist, lcf_dist_rr four iterations to calculate the
+schedule; the output buffers of outbuf each contain 256 entries."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Immutable simulation parameters (paper defaults)."""
+
+    #: Switch port count (paper: 16).
+    n_ports: int = 16
+    #: Virtual-output-queue capacity, packets (paper: 256).
+    voq_capacity: int = 256
+    #: Packet-queue (initiator buffer) capacity, packets (paper: 1000).
+    pq_capacity: int = 1000
+    #: Output-buffer capacity for the ``outbuf`` model (paper: 256).
+    outbuf_capacity: int = 256
+    #: Iterations for pim / lcf_dist / lcf_dist_rr / islip (paper: 4).
+    iterations: int = 4
+    #: Slots simulated before statistics collection starts.
+    warmup_slots: int = 2000
+    #: Slots over which latency/throughput are measured.
+    measure_slots: int = 20000
+    #: Traffic RNG seed.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_ports < 1:
+            raise ValueError(f"n_ports must be >= 1, got {self.n_ports}")
+        for field_name in ("voq_capacity", "pq_capacity", "outbuf_capacity"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if self.warmup_slots < 0 or self.measure_slots < 1:
+            raise ValueError("warmup_slots must be >= 0 and measure_slots >= 1")
+
+    @property
+    def total_slots(self) -> int:
+        """Warmup plus measurement window."""
+        return self.warmup_slots + self.measure_slots
+
+    def with_(self, **changes) -> "SimConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: The exact Section 6.3 configuration (long run, for the full Figure 12
+#: reproduction; benchmarks use shorter windows via ``with_``).
+PAPER_CONFIG = SimConfig()

@@ -1,0 +1,46 @@
+"""Packet representation.
+
+The switch model uses fixed-size packets (Section 2), so a packet is
+fully described by its endpoints and timestamps. The hot simulation
+paths store bare generation timestamps in the queues for speed; the
+:class:`Packet` object is the user-facing form used by traces, the Clint
+substrate, and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+_packet_ids = count()
+
+
+@dataclass(slots=True)
+class Packet:
+    """A fixed-size packet traversing the switch."""
+
+    src: int
+    dst: int
+    #: Slot in which the packet was generated (entered the PQ).
+    t_generated: int
+    #: Slot in which the packet left the switch, or -1 while in flight.
+    t_departed: int = -1
+    #: Monotonic identifier, unique within a process.
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def latency(self) -> int:
+        """Queueing delay in packet time slots, inclusive of the
+        transmission slot (a packet forwarded in its arrival slot has
+        latency 1). Raises if the packet has not departed."""
+        if self.t_departed < 0:
+            raise ValueError(f"packet {self.uid} has not departed")
+        return self.t_departed - self.t_generated + 1
+
+    def depart(self, slot: int) -> None:
+        """Mark the packet as forwarded in ``slot``."""
+        if slot < self.t_generated:
+            raise ValueError(
+                f"departure slot {slot} precedes generation slot {self.t_generated}"
+            )
+        self.t_departed = slot

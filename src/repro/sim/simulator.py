@@ -1,0 +1,152 @@
+"""Simulation driver: builds the right switch for a scheduler name, runs
+warmup + measurement, and packages the statistics.
+
+This is the function behind every Figure 12 data point::
+
+    result = run_simulation(SimConfig(), "lcf_central", load=0.8)
+    print(result.mean_latency)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.registry import make_scheduler
+from repro.sim.config import SimConfig
+from repro.sim.crossbar import InputQueuedSwitch
+from repro.sim.fifo_switch import FIFOSwitch
+from repro.sim.metrics import latency_percentiles
+from repro.sim.outbuf import OutputBufferedSwitch
+from repro.traffic.base import TrafficPattern, make_traffic
+
+
+@dataclass
+class SimResult:
+    """Statistics for one (scheduler, load) simulation point."""
+
+    scheduler: str
+    load: float
+    config: SimConfig
+    mean_latency: float
+    std_latency: float
+    min_latency: float
+    max_latency: float
+    offered: int
+    forwarded: int
+    dropped: int
+    #: Packets forwarded per output per slot over the measurement window.
+    throughput: float
+    #: Latency percentiles {50: ..., 90: ..., 99: ...} when collected.
+    percentiles: dict[float, float] = field(default_factory=dict)
+    #: Per-pair grant counts when collected (None otherwise).
+    service_counts: np.ndarray | None = None
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered packets dropped during measurement."""
+        return self.dropped / self.offered if self.offered else 0.0
+
+    def relative_to(self, reference: "SimResult") -> float:
+        """Latency relative to a reference result (the Figure 12b transform)."""
+        if not reference.mean_latency or math.isnan(reference.mean_latency):
+            return math.nan
+        return self.mean_latency / reference.mean_latency
+
+    def row(self) -> dict[str, float | str | int]:
+        """Flat dict for CSV emission."""
+        return {
+            "scheduler": self.scheduler,
+            "load": self.load,
+            "mean_latency": self.mean_latency,
+            "std_latency": self.std_latency,
+            "max_latency": self.max_latency,
+            "throughput": self.throughput,
+            "offered": self.offered,
+            "forwarded": self.forwarded,
+            "dropped": self.dropped,
+        }
+
+
+def build_switch(
+    config: SimConfig,
+    scheduler_name: str,
+    collect_service: bool = False,
+    collect_latencies: bool = False,
+    seed: int = 0,
+):
+    """Instantiate the switch model matching a registry scheduler name."""
+    if scheduler_name == "outbuf":
+        return OutputBufferedSwitch(config, collect_latencies=collect_latencies)
+    if scheduler_name == "fifo":
+        return FIFOSwitch(config, collect_latencies=collect_latencies)
+    scheduler = make_scheduler(
+        scheduler_name, config.n_ports, iterations=config.iterations, seed=seed
+    )
+    return InputQueuedSwitch(
+        config,
+        scheduler,
+        collect_service=collect_service,
+        collect_latencies=collect_latencies,
+    )
+
+
+def run_simulation(
+    config: SimConfig,
+    scheduler_name: str,
+    load: float,
+    traffic: str | TrafficPattern = "bernoulli",
+    traffic_kwargs: dict | None = None,
+    collect_service: bool = False,
+    collect_percentiles: bool = False,
+) -> SimResult:
+    """Simulate one (scheduler, load) point of the Figure 12 grid.
+
+    ``traffic`` is a registry name (default the paper's uniform
+    Bernoulli) or an already-constructed pattern — in the latter case
+    ``load`` is informational and the pattern's own state is used.
+    """
+    if isinstance(traffic, TrafficPattern):
+        pattern = traffic
+    else:
+        pattern = make_traffic(
+            traffic, config.n_ports, load, seed=config.seed, **(traffic_kwargs or {})
+        )
+
+    switch = build_switch(
+        config,
+        scheduler_name,
+        collect_service=collect_service,
+        collect_latencies=collect_percentiles,
+        seed=config.seed,
+    )
+
+    for slot in range(config.total_slots):
+        if slot == config.warmup_slots:
+            switch.measuring = True
+        switch.step(slot, pattern.arrivals())
+
+    stats = switch.latency
+    percentiles = (
+        latency_percentiles(np.asarray(switch.latency_samples))
+        if collect_percentiles
+        else {}
+    )
+    service = getattr(switch, "service", None)
+    return SimResult(
+        scheduler=scheduler_name,
+        load=load,
+        config=config,
+        mean_latency=stats.mean,
+        std_latency=stats.std,
+        min_latency=stats.min if stats.count else math.nan,
+        max_latency=stats.max if stats.count else math.nan,
+        offered=switch.offered,
+        forwarded=switch.forwarded,
+        dropped=switch.dropped,
+        throughput=switch.forwarded / (config.n_ports * config.measure_slots),
+        percentiles=percentiles,
+        service_counts=service.counts.copy() if service is not None else None,
+    )

@@ -1,0 +1,29 @@
+"""Workload generators for the switch simulator.
+
+The paper's Figure 12 uses uniform Bernoulli traffic ("Load is the
+probability that a host generates a packet in a given time slot. The
+destinations of the packets are uniformly distributed."). The other
+patterns here are the standard stress workloads from the input-queued
+switching literature (hotspot, diagonal, permutation, bursty on/off)
+used by the beyond-paper benchmarks.
+"""
+
+from repro.traffic.base import NO_ARRIVAL, TrafficPattern, make_traffic, available_patterns
+from repro.traffic.bernoulli import BernoulliUniform
+from repro.traffic.bursty import BurstyOnOff
+from repro.traffic.nonuniform import Diagonal, Hotspot, LogDiagonal, Permutation
+from repro.traffic.trace import TraceReplay
+
+__all__ = [
+    "NO_ARRIVAL",
+    "TrafficPattern",
+    "make_traffic",
+    "available_patterns",
+    "BernoulliUniform",
+    "BurstyOnOff",
+    "Hotspot",
+    "Diagonal",
+    "LogDiagonal",
+    "Permutation",
+    "TraceReplay",
+]

@@ -1,0 +1,43 @@
+"""Uniform Bernoulli i.i.d. traffic — the Figure 12 workload.
+
+Each slot, each input generates a packet with probability ``load``; the
+destination is uniform over all ``n`` outputs (the paper's hosts may
+send to themselves in simulation, and so may ours — ``self_traffic``
+can be disabled to model the ``n-1``-queue variant mentioned in
+Section 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.base import NO_ARRIVAL, TrafficPattern
+
+
+class BernoulliUniform(TrafficPattern):
+    """I.i.d. Bernoulli arrivals with uniformly distributed destinations."""
+
+    name = "bernoulli"
+
+    def __init__(self, n: int, load: float, seed: int = 0, self_traffic: bool = True):
+        super().__init__(n, load, seed)
+        self.self_traffic = self_traffic
+        if not self_traffic and n < 2:
+            raise ValueError("self_traffic=False needs at least 2 ports")
+
+    def arrivals(self) -> np.ndarray:
+        active = self.rng.random(self.n) < self.load
+        dst = self.rng.integers(0, self.n, size=self.n)
+        if not self.self_traffic:
+            # Redraw destinations uniformly over the other n-1 ports by
+            # shifting: pick an offset in [1, n-1] from self.
+            offsets = self.rng.integers(1, self.n, size=self.n)
+            dst = (np.arange(self.n) + offsets) % self.n
+        return np.where(active, dst, NO_ARRIVAL).astype(np.int64)
+
+    def rate_matrix(self) -> np.ndarray:
+        if self.self_traffic:
+            return np.full((self.n, self.n), self.load / self.n)
+        rate = np.full((self.n, self.n), self.load / (self.n - 1))
+        np.fill_diagonal(rate, 0.0)
+        return rate

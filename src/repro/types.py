@@ -1,0 +1,48 @@
+"""Shared type aliases and conventions for the LCF reproduction.
+
+Conventions (used consistently across the package):
+
+* A **request matrix** ``R`` is a boolean ``(n, n)`` array. ``R[i, j]`` is
+  True iff input (initiator) ``i`` has at least one packet queued for
+  output (target) ``j``.
+* A **schedule** ``S`` is an int64 ``(n,)`` array indexed by input port:
+  ``S[i]`` is the output granted to input ``i`` or :data:`NO_GRANT`.
+  A schedule must be conflict free — no output appears twice.
+* An **output schedule** ``T`` is the transpose view used where multicast
+  is possible (Clint precalculated schedules): ``T[j]`` is the input
+  connected to output ``j`` or :data:`NO_GRANT`. Multicast is an input
+  appearing under several outputs.
+
+All stochastic code takes a :class:`numpy.random.Generator` so that runs
+are reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+import numpy as np
+import numpy.typing as npt
+
+#: Sentinel meaning "no grant" in schedules (matches the paper's ``-1``).
+NO_GRANT: int = -1
+
+RequestMatrix: TypeAlias = npt.NDArray[np.bool_]
+Schedule: TypeAlias = npt.NDArray[np.int64]
+OutputSchedule: TypeAlias = npt.NDArray[np.int64]
+
+
+def empty_schedule(n: int) -> Schedule:
+    """Return a fresh all-``NO_GRANT`` schedule for ``n`` inputs."""
+    return np.full(n, NO_GRANT, dtype=np.int64)
+
+
+def as_request_matrix(matrix: npt.ArrayLike) -> RequestMatrix:
+    """Coerce ``matrix`` to a square boolean request matrix.
+
+    Raises ``ValueError`` if the input is not square and 2-D.
+    """
+    arr = np.asarray(matrix, dtype=bool)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"request matrix must be square 2-D, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,37 @@
+"""ASCII plotting."""
+
+import math
+
+from repro.analysis.asciiplot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_empty_series(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_markers_and_legend(self):
+        text = ascii_plot({"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])})
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_title_and_labels(self):
+        text = ascii_plot(
+            {"s": ([0, 1], [1, 2])}, title="T", x_label="load", y_label="lat"
+        )
+        assert text.splitlines()[0] == "T"
+        assert "load" in text and "lat" in text
+
+    def test_y_max_clips_to_top_row(self):
+        text = ascii_plot({"s": ([0.0, 1.0], [0.0, 100.0])}, y_max=10.0, height=5)
+        lines = text.splitlines()
+        # No title: lines[0] is the y-label, lines[1] the top grid row,
+        # where the clipped point must land.
+        assert "o" in lines[1]
+
+    def test_nan_points_do_not_crash(self):
+        text = ascii_plot({"s": ([0, 1, 2], [1.0, math.nan, 2.0])})
+        assert "o" in text
+
+    def test_single_point(self):
+        text = ascii_plot({"s": ([0.5], [3.0])})
+        assert "o" in text

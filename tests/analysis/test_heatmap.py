@@ -1,0 +1,49 @@
+"""ASCII heatmaps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import ascii_heatmap, service_heatmap
+
+
+class TestHeatmap:
+    def test_zero_matrix_renders_blank(self):
+        text = ascii_heatmap(np.zeros((2, 2)))
+        grid_rows = [line for line in text.splitlines() if line.startswith(" ")]
+        assert all("@" not in row for row in grid_rows)
+
+    def test_max_cell_gets_darkest_char(self):
+        matrix = np.array([[0.0, 0.0], [0.0, 5.0]])
+        text = ascii_heatmap(matrix)
+        assert "@" in text
+
+    def test_title_and_scale_line(self):
+        text = ascii_heatmap(np.ones((2, 2)), title="T")
+        assert text.splitlines()[0] == "T"
+        assert "scale:" in text
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.array([[-1.0]]))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(4))
+
+    def test_cell_normalisation_bounds(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.array([[2.0]]), normalise="cell")
+        text = ascii_heatmap(np.array([[0.5]]), normalise="cell")
+        assert text
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones((2, 2)), normalise="nope")
+
+    def test_service_heatmap_default_title(self):
+        text = service_heatmap(np.ones((3, 3), dtype=int), cycles=9)
+        assert "9 cycles" in text
+
+    def test_row_indices_present(self):
+        text = ascii_heatmap(np.ones((12, 3)))
+        assert " 11 " in text

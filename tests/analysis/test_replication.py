@@ -1,0 +1,62 @@
+"""Replicated runs with confidence intervals."""
+
+import pytest
+
+from repro.analysis.replication import compare_with_ci, replicate
+from repro.sim.config import SimConfig
+
+FAST = SimConfig(n_ports=8, warmup_slots=200, measure_slots=1500)
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        return replicate(FAST, "lcf_central", 0.8, seeds=(1, 2, 3, 4))
+
+    def test_aggregates_all_seeds(self, replicated):
+        assert replicated.replications == 4
+        assert len(replicated.results) == 4
+
+    def test_seeds_produce_distinct_results(self, replicated):
+        latencies = {r.mean_latency for r in replicated.results}
+        assert len(latencies) == 4
+
+    def test_mean_within_individual_range(self, replicated):
+        latencies = [r.mean_latency for r in replicated.results]
+        assert min(latencies) <= replicated.mean_latency <= max(latencies)
+
+    def test_interval_is_positive_and_centred(self, replicated):
+        low, high = replicated.latency_interval()
+        assert low < replicated.mean_latency < high
+
+    def test_row_serialisation(self, replicated):
+        row = replicated.row()
+        assert row["replications"] == 4
+        assert "latency_ci95" in row
+
+    def test_requires_two_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(FAST, "lcf_central", 0.5, seeds=(1,))
+
+    def test_throughput_ci_small_when_stable(self, replicated):
+        # At load 0.8 the switch is stable: throughput ~ load with tiny
+        # spread across seeds.
+        assert replicated.mean_throughput == pytest.approx(0.8, abs=0.02)
+        assert replicated.throughput_ci < 0.02
+
+
+class TestPairedComparison:
+    def test_lcf_vs_outbuf_ratio_with_ci(self):
+        comparison = compare_with_ci(
+            FAST, "lcf_central", "outbuf", 0.9, seeds=(1, 2, 3, 4)
+        )
+        assert comparison["mean_ratio"] > 1.0  # input queueing costs something
+        assert comparison["mean_ratio"] < 2.0
+        assert comparison["ratio_ci95"] < comparison["mean_ratio"]
+
+    def test_self_comparison_is_exactly_one(self):
+        comparison = compare_with_ci(
+            FAST, "islip", "islip", 0.7, seeds=(1, 2, 3)
+        )
+        assert comparison["mean_ratio"] == pytest.approx(1.0)
+        assert comparison["ratio_ci95"] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,54 @@
+"""Statistical helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import coefficient_of_variation, geometric_mean, mean_ci
+
+
+class TestMeanCI:
+    def test_empty_is_nan(self):
+        mean, half = mean_ci([])
+        assert math.isnan(mean) and half == 0.0
+
+    def test_single_sample_has_zero_width(self):
+        mean, half = mean_ci([4.2])
+        assert mean == 4.2 and half == 0.0
+
+    def test_interval_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(100):
+            samples = rng.normal(10.0, 3.0, size=30)
+            mean, half = mean_ci(samples, confidence=0.95)
+            if abs(mean - 10.0) <= half:
+                hits += 1
+        assert hits >= 85  # ~95 expected
+
+    def test_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(1)
+        _, narrow = mean_ci(rng.normal(0, 1, 1000))
+        _, wide = mean_ci(rng.normal(0, 1, 10))
+        assert narrow < wide
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+
+class TestCoV:
+    def test_constant_series_is_zero(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_zero_mean_is_nan(self):
+        assert math.isnan(coefficient_of_variation([-1, 1]))

@@ -1,0 +1,81 @@
+"""Load-sweep harness (tiny grids for speed)."""
+
+import math
+
+import pytest
+
+from repro.analysis.sweep import SweepSpec, check_paper_shape, run_sweep, shape_report
+from repro.sim.config import SimConfig
+
+
+def tiny_spec(schedulers=("lcf_central", "outbuf"), loads=(0.3, 0.8)):
+    return SweepSpec(
+        schedulers=schedulers,
+        loads=loads,
+        config=SimConfig(n_ports=4, warmup_slots=50, measure_slots=500,
+                         voq_capacity=32, pq_capacity=64, seed=3),
+    )
+
+
+class TestRunSweep:
+    def test_grid_is_complete(self):
+        sweep = run_sweep(tiny_spec())
+        assert len(sweep.results) == 4
+        assert sweep.get("outbuf", 0.3).scheduler == "outbuf"
+
+    def test_series_ordering(self):
+        sweep = run_sweep(tiny_spec())
+        loads, latencies = sweep.series("lcf_central")
+        assert loads == [0.3, 0.8]
+        assert latencies[0] < latencies[1]  # latency grows with load
+
+    def test_relative_series_reference_is_one(self):
+        sweep = run_sweep(tiny_spec())
+        _, ratios = sweep.relative_series("outbuf")
+        assert all(r == pytest.approx(1.0) for r in ratios)
+
+    def test_relative_series_crossbar_at_least_one(self):
+        sweep = run_sweep(tiny_spec())
+        _, ratios = sweep.relative_series("lcf_central")
+        assert all(r >= 0.95 for r in ratios)
+
+    def test_csv_has_row_per_point(self):
+        sweep = run_sweep(tiny_spec())
+        lines = sweep.to_csv().strip().splitlines()
+        assert len(lines) == 1 + 4
+
+    def test_plot_renders(self):
+        sweep = run_sweep(tiny_spec())
+        assert "Figure 12a" in sweep.plot()
+        assert "Figure 12b" in sweep.plot(relative=True)
+
+    def test_deterministic(self):
+        a = run_sweep(tiny_spec())
+        b = run_sweep(tiny_spec())
+        assert a.get("lcf_central", 0.8).mean_latency == b.get(
+            "lcf_central", 0.8
+        ).mean_latency
+
+
+class TestShapeChecks:
+    def test_claims_skipped_for_missing_schedulers(self):
+        sweep = run_sweep(tiny_spec())
+        checks = check_paper_shape(sweep)
+        # Only the claims whose schedulers are present are evaluated.
+        for check in checks:
+            assert "pim" not in check.claim or False
+
+    def test_report_format(self):
+        sweep = run_sweep(tiny_spec())
+        report = shape_report(check_paper_shape(sweep))
+        assert "shape checks passed" in report
+
+
+class TestParallelSweep:
+    def test_multiprocessing_pool_matches_serial(self):
+        spec = tiny_spec(loads=(0.5,))
+        serial = run_sweep(spec, processes=1)
+        parallel = run_sweep(spec, processes=2)
+        for key, result in serial.results.items():
+            assert parallel.results[key].mean_latency == result.mean_latency
+            assert parallel.results[key].forwarded == result.forwarded

@@ -1,0 +1,46 @@
+"""Table and CSV rendering."""
+
+from repro.analysis.tables import format_table, rows_to_csv
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "empty" in format_table([])
+
+    def test_header_and_alignment(self):
+        rows = [{"name": "a", "value": 1}, {"name": "bb", "value": 22}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "22" in lines[3]
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert text.splitlines()[0].split() == ["c", "a"]
+        assert "2" not in text.splitlines()[2]
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 1.23456}], float_digits=2)
+        assert "1.23" in text and "1.234" not in text
+
+    def test_nan_rendered(self):
+        text = format_table([{"x": float("nan")}])
+        assert "nan" in text
+
+    def test_missing_keys_render_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+
+class TestCSV:
+    def test_round_trippable_layout(self):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        csv = rows_to_csv(rows)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,a"
+        assert lines[2] == "2,b"
+
+    def test_empty_rows(self):
+        assert rows_to_csv([]) == ""

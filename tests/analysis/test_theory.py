@@ -1,0 +1,75 @@
+"""Closed-form theory, and the simulator validated against it."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    FIFO_SATURATION_LIMIT,
+    fifo_saturation_throughput,
+    fifo_saturates_below,
+    md1_wait,
+    output_queue_latency,
+    output_queue_wait,
+)
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+
+
+class TestClosedForms:
+    def test_wait_is_zero_at_zero_load(self):
+        assert output_queue_wait(0.0, 16) == 0.0
+
+    def test_wait_diverges_towards_full_load(self):
+        assert output_queue_wait(0.99, 16) > 40
+
+    def test_single_port_never_waits(self):
+        # n=1: one deterministic arrival stream into one server.
+        assert output_queue_wait(0.9, 1) == 0.0
+
+    def test_limit_is_md1(self):
+        assert output_queue_wait(0.8, 10**6) == pytest.approx(md1_wait(0.8), rel=1e-4)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            output_queue_wait(1.0, 16)
+        with pytest.raises(ValueError):
+            md1_wait(-0.1)
+
+    def test_fifo_saturation_values(self):
+        assert fifo_saturation_throughput(2) == 0.75
+        assert fifo_saturation_throughput(100) == FIFO_SATURATION_LIMIT
+        assert math.isclose(FIFO_SATURATION_LIMIT, 0.5857, abs_tol=5e-4)
+
+    def test_fifo_saturation_is_decreasing_in_n(self):
+        values = [fifo_saturation_throughput(n) for n in range(1, 9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_saturates_below(self):
+        assert fifo_saturates_below(0.5, 16)
+        assert not fifo_saturates_below(0.7, 16)
+
+
+class TestSimulatorMatchesTheory:
+    """The Monte-Carlo switch must track the exact formulas."""
+
+    CONFIG = SimConfig(n_ports=16, warmup_slots=2000, measure_slots=20000)
+
+    @pytest.mark.parametrize("load", [0.3, 0.6, 0.8])
+    def test_outbuf_latency_matches_karol_formula(self, load):
+        result = run_simulation(self.CONFIG, "outbuf", load)
+        expected = output_queue_latency(load, 16)
+        assert result.mean_latency == pytest.approx(expected, rel=0.06)
+
+    def test_fifo_saturation_matches_karol_limit(self):
+        config = SimConfig(n_ports=16, voq_capacity=64, pq_capacity=64,
+                           warmup_slots=1000, measure_slots=5000)
+        result = run_simulation(config, "fifo", 1.0)
+        # n=16 sits a little above the asymptotic limit.
+        assert FIFO_SATURATION_LIMIT - 0.02 < result.throughput < FIFO_SATURATION_LIMIT + 0.06
+
+    def test_voq_scheduler_beats_fifo_saturation_bound(self):
+        config = SimConfig(n_ports=8, voq_capacity=64, pq_capacity=64,
+                           warmup_slots=500, measure_slots=3000)
+        result = run_simulation(config, "lcf_central", 1.0)
+        assert result.throughput > fifo_saturation_throughput(8) + 0.2

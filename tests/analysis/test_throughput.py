@@ -1,0 +1,49 @@
+"""Saturation-throughput analysis."""
+
+import pytest
+
+from repro.analysis.throughput import (
+    FIFO_SATURATION_LIMIT,
+    saturation_table,
+    saturation_throughput,
+)
+from repro.sim.config import SimConfig
+
+FAST = SimConfig(n_ports=8, voq_capacity=32, pq_capacity=32,
+                 warmup_slots=500, measure_slots=2500)
+
+
+class TestSaturation:
+    def test_fifo_hits_the_karol_limit(self):
+        result = saturation_throughput("fifo", FAST)
+        # n=8 sits slightly above the asymptotic 0.586.
+        assert result.throughput == pytest.approx(FIFO_SATURATION_LIMIT, abs=0.06)
+
+    def test_voq_schedulers_approach_full_throughput(self):
+        for name in ("lcf_central", "islip", "wfront"):
+            result = saturation_throughput(name, FAST)
+            assert result.throughput > 0.93, name
+
+    def test_outbuf_is_work_conserving(self):
+        result = saturation_throughput("outbuf", FAST)
+        assert result.throughput > 0.95
+
+    def test_permutation_traffic_is_lossless_for_voq(self):
+        result = saturation_throughput(
+            "lcf_central", FAST, traffic="permutation"
+        )
+        assert result.throughput > 0.99
+        assert result.dropped == 0
+
+    def test_hotspot_caps_at_the_hot_output(self):
+        # fraction=1.0: all traffic to one output -> throughput 1/n.
+        result = saturation_throughput(
+            "lcf_central", FAST, traffic="hotspot",
+            traffic_kwargs={"fraction": 1.0},
+        )
+        assert result.throughput == pytest.approx(1 / 8, abs=0.02)
+
+    def test_table_shape(self):
+        rows = saturation_table(("fifo", "lcf_central"), FAST)
+        assert [row["scheduler"] for row in rows] == ["fifo", "lcf_central"]
+        assert all("saturation_throughput" in row for row in rows)

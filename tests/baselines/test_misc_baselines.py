@@ -1,0 +1,63 @@
+"""Greedy and random maximal matchers (yardstick baselines)."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines.maximal_greedy import GreedyMaximal
+from repro.baselines.random_sched import RandomMaximal
+from repro.matching.verify import is_maximal, is_valid_schedule
+
+from tests.conftest import request_matrices
+
+
+class TestGreedy:
+    def test_rotating_start_input(self):
+        requests = np.zeros((2, 2), dtype=bool)
+        requests[0, 0] = requests[1, 0] = True
+        scheduler = GreedyMaximal(2)
+        first = scheduler.schedule(requests)
+        second = scheduler.schedule(requests)
+        assert first[0] == 0 and second[1] == 0  # winner rotates
+
+    @given(request_matrices(max_n=6))
+    @settings(max_examples=50, deadline=None)
+    def test_always_valid_and_maximal(self, requests):
+        scheduler = GreedyMaximal(requests.shape[0])
+        schedule = scheduler.schedule(requests)
+        assert is_valid_schedule(requests, schedule)
+        assert is_maximal(requests, schedule)
+
+    def test_reset(self):
+        scheduler = GreedyMaximal(3)
+        scheduler.schedule(np.zeros((3, 3), dtype=bool))
+        scheduler.reset()
+        assert scheduler._offset == 0
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self):
+        requests = np.ones((5, 5), dtype=bool)
+        a, b = RandomMaximal(5, seed=1), RandomMaximal(5, seed=1)
+        for _ in range(5):
+            assert (a.schedule(requests) == b.schedule(requests)).all()
+
+    def test_reset_rewinds(self):
+        requests = np.ones((5, 5), dtype=bool)
+        scheduler = RandomMaximal(5, seed=2)
+        first = scheduler.schedule(requests).tolist()
+        scheduler.reset()
+        assert scheduler.schedule(requests).tolist() == first
+
+    @given(request_matrices(max_n=6))
+    @settings(max_examples=50, deadline=None)
+    def test_always_valid_and_maximal(self, requests):
+        scheduler = RandomMaximal(requests.shape[0])
+        schedule = scheduler.schedule(requests)
+        assert is_valid_schedule(requests, schedule)
+        assert is_maximal(requests, schedule)
+
+    def test_varies_across_cycles(self):
+        requests = np.ones((6, 6), dtype=bool)
+        scheduler = RandomMaximal(6, seed=0)
+        outcomes = {tuple(scheduler.schedule(requests).tolist()) for _ in range(10)}
+        assert len(outcomes) > 1

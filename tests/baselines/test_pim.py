@@ -1,0 +1,90 @@
+"""Parallel Iterative Matching baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines.pim import PIM
+from repro.matching.verify import is_maximal, is_valid_schedule, matching_size
+from repro.types import NO_GRANT
+
+from tests.conftest import request_matrices
+
+
+class TestBasics:
+    def test_permutation_matched_in_one_iteration(self):
+        schedule = PIM(4, iterations=1).schedule(np.eye(4, dtype=bool))
+        assert schedule.tolist() == [0, 1, 2, 3]
+
+    def test_empty_matrix(self):
+        assert (PIM(4).schedule(np.zeros((4, 4), dtype=bool)) == NO_GRANT).all()
+
+    def test_single_contended_output(self):
+        requests = np.zeros((4, 4), dtype=bool)
+        requests[:, 0] = True
+        schedule = PIM(4).schedule(requests)
+        assert matching_size(schedule) == 1
+
+    def test_seeded_reproducibility(self):
+        rng = np.random.default_rng(0)
+        requests = rng.random((6, 6)) < 0.5
+        a = PIM(6, seed=42)
+        b = PIM(6, seed=42)
+        for _ in range(5):
+            assert (a.schedule(requests) == b.schedule(requests)).all()
+
+    def test_reset_rewinds_random_stream(self):
+        requests = np.ones((6, 6), dtype=bool)
+        scheduler = PIM(6, seed=9)
+        first = [scheduler.schedule(requests).tolist() for _ in range(3)]
+        scheduler.reset()
+        second = [scheduler.schedule(requests).tolist() for _ in range(3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        requests = np.ones((8, 8), dtype=bool)
+        a = [PIM(8, seed=1).schedule(requests).tolist() for _ in range(1)]
+        b = [PIM(8, seed=2).schedule(requests).tolist() for _ in range(1)]
+        assert a != b
+
+
+class TestRandomisation:
+    def test_grant_choice_is_uniformish(self):
+        # Two inputs contending for one output should win about equally
+        # often over many cycles.
+        requests = np.zeros((2, 2), dtype=bool)
+        requests[0, 0] = requests[1, 0] = True
+        scheduler = PIM(2, iterations=1, seed=3)
+        wins = [0, 0]
+        for _ in range(400):
+            schedule = scheduler.schedule(requests)
+            winner = int(np.flatnonzero(schedule != NO_GRANT)[0])
+            wins[winner] += 1
+        assert 120 < wins[0] < 280
+
+    def test_convergence_improves_with_iterations(self):
+        rng = np.random.default_rng(11)
+        sizes_1, sizes_4 = 0, 0
+        one = PIM(8, iterations=1, seed=5)
+        four = PIM(8, iterations=4, seed=5)
+        for _ in range(100):
+            requests = rng.random((8, 8)) < 0.6
+            sizes_1 += matching_size(one.schedule(requests))
+            sizes_4 += matching_size(four.schedule(requests))
+        assert sizes_4 > sizes_1
+
+
+class TestProperties:
+    @given(request_matrices(max_n=6))
+    @settings(max_examples=50, deadline=None)
+    def test_schedule_always_valid(self, requests):
+        scheduler = PIM(requests.shape[0])
+        assert is_valid_schedule(requests, scheduler.schedule(requests))
+
+    @given(request_matrices(min_n=2, max_n=5))
+    @settings(max_examples=30, deadline=None)
+    def test_many_iterations_reach_maximal(self, requests):
+        n = requests.shape[0]
+        # n iterations guarantee convergence: every iteration with live
+        # requests commits at least one match.
+        scheduler = PIM(n, iterations=n)
+        assert is_maximal(requests, scheduler.schedule(requests))

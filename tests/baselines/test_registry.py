@@ -1,0 +1,65 @@
+"""Scheduler registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import (
+    ITERATIVE_NAMES,
+    PAPER_SCHEDULERS,
+    SPECIAL_SWITCH_NAMES,
+    available_schedulers,
+    make_scheduler,
+)
+from repro.matching.verify import is_valid_schedule
+
+
+class TestRegistry:
+    def test_all_registered_names_construct(self):
+        for name in available_schedulers():
+            scheduler = make_scheduler(name, 4)
+            assert scheduler.n == 4
+
+    def test_unknown_name_raises_keyerror_with_listing(self):
+        with pytest.raises(KeyError, match="lcf_central"):
+            make_scheduler("nope", 4)
+
+    def test_iterations_forwarded_to_iterative_schedulers(self):
+        for name in ITERATIVE_NAMES:
+            scheduler = make_scheduler(name, 4, iterations=2)
+            assert scheduler.iterations == 2
+
+    def test_iterations_ignored_by_others(self):
+        scheduler = make_scheduler("wfront", 4, iterations=7)
+        assert scheduler.n == 4
+
+    def test_paper_scheduler_list_covers_figure12_legend(self):
+        assert set(PAPER_SCHEDULERS) == {
+            "lcf_central",
+            "lcf_central_rr",
+            "lcf_dist_rr",
+            "lcf_dist",
+            "pim",
+            "islip",
+            "wfront",
+            "fifo",
+            "outbuf",
+        }
+
+    def test_special_switch_names(self):
+        assert SPECIAL_SWITCH_NAMES == {"fifo", "outbuf"}
+        assert "outbuf" not in available_schedulers()
+
+    def test_registry_schedulers_produce_valid_schedules(self):
+        rng = np.random.default_rng(1)
+        requests = rng.random((5, 5)) < 0.5
+        for name in available_schedulers():
+            if name == "fifo":
+                continue  # needs HOL-shaped input
+            scheduler = make_scheduler(name, 5)
+            assert is_valid_schedule(requests, scheduler.schedule(requests)), name
+
+    def test_seed_forwarded_to_random_schedulers(self):
+        a = make_scheduler("pim", 4, seed=7)
+        b = make_scheduler("pim", 4, seed=7)
+        requests = np.ones((4, 4), dtype=bool)
+        assert (a.schedule(requests) == b.schedule(requests)).all()

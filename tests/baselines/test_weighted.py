@@ -1,0 +1,91 @@
+"""Weight-based schedulers: LQF and OCF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.weighted import LQF, OCF, WeightedScheduler
+from repro.matching.verify import is_maximal, is_valid_schedule
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+
+from tests.conftest import request_matrices
+
+
+class TestScheduleWeighted:
+    def test_highest_weight_wins(self):
+        weights = np.zeros((3, 3), dtype=np.int64)
+        weights[0, 0] = 5
+        weights[1, 0] = 2
+        schedule = LQF(3).schedule_weighted(weights)
+        assert schedule[0] == 0
+        assert schedule[1] == -1
+
+    def test_ties_broken_by_rotating_chain(self):
+        weights = np.zeros((2, 2), dtype=np.int64)
+        weights[0, 0] = weights[1, 0] = 3
+        scheduler = LQF(2)
+        winners = []
+        for _ in range(4):
+            schedule = scheduler.schedule_weighted(weights)
+            winners.append(int(np.flatnonzero(schedule >= 0)[0]))
+        assert set(winners) == {0, 1}
+
+    def test_zero_weight_means_no_request(self):
+        weights = np.zeros((2, 2), dtype=np.int64)
+        schedule = LQF(2).schedule_weighted(weights)
+        assert (schedule == -1).all()
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            LQF(3).schedule_weighted(np.zeros((2, 2)))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            LQF(2).schedule_weighted(np.array([[-1, 0], [0, 0]]))
+
+    def test_boolean_fallback_is_greedy_maximal(self):
+        rng = np.random.default_rng(0)
+        scheduler = LQF(5)
+        for _ in range(20):
+            requests = rng.random((5, 5)) < 0.5
+            schedule = scheduler.schedule(requests)
+            assert is_valid_schedule(requests, schedule)
+            assert is_maximal(requests, schedule)
+
+    @given(request_matrices(max_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_schedule_respects_support(self, requests):
+        weights = requests.astype(np.int64) * 7
+        schedule = OCF(requests.shape[0]).schedule_weighted(weights)
+        assert is_valid_schedule(requests, schedule)
+
+    def test_weight_kinds(self):
+        assert LQF(2).weight_kind == "occupancy"
+        assert OCF(2).weight_kind == "hol_age"
+        assert issubclass(LQF, WeightedScheduler)
+
+
+class TestInSimulator:
+    CONFIG = SimConfig(n_ports=8, voq_capacity=64, pq_capacity=200,
+                       warmup_slots=300, measure_slots=2000)
+
+    def test_lqf_carries_moderate_load(self):
+        result = run_simulation(self.CONFIG, "lqf", 0.7)
+        assert result.throughput == pytest.approx(0.7, abs=0.05)
+
+    def test_ocf_carries_moderate_load(self):
+        result = run_simulation(self.CONFIG, "ocf", 0.7)
+        assert result.throughput == pytest.approx(0.7, abs=0.05)
+
+    def test_lqf_competitive_at_high_load(self):
+        lqf = run_simulation(self.CONFIG, "lqf", 0.9)
+        wfront = run_simulation(self.CONFIG, "wfront", 0.9)
+        assert lqf.mean_latency < 1.5 * wfront.mean_latency
+
+    def test_ocf_bounds_the_tail(self):
+        """OCF's whole point: serving the oldest cell first keeps the
+        maximum delay tighter than choice-count priorities do."""
+        ocf = run_simulation(self.CONFIG, "ocf", 0.9)
+        lcf = run_simulation(self.CONFIG, "lcf_central", 0.9)
+        assert ocf.max_latency <= lcf.max_latency

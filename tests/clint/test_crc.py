@@ -1,0 +1,47 @@
+"""CRC-16 implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clint.crc import check, crc16, crc16_bitwise
+
+
+class TestKnownVectors:
+    def test_ccitt_check_string(self):
+        # The classic CRC-16/CCITT-FALSE check value for "123456789".
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc16(b"") == 0xFFFF  # init value untouched
+
+    def test_single_zero_byte(self):
+        assert crc16(b"\x00") == crc16_bitwise(b"\x00")
+
+
+class TestImplementationsAgree:
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_table_matches_bitwise(self, data):
+        assert crc16(data) == crc16_bitwise(data)
+
+
+class TestErrorDetection:
+    def test_check_accepts_valid(self):
+        data = b"clint config"
+        assert check(data, crc16(data))
+
+    def test_check_rejects_wrong_crc(self):
+        assert not check(b"clint config", 0x1234)
+
+    @given(st.binary(min_size=1, max_size=32), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_single_bit_flips_always_detected(self, data, position):
+        # CRC-16 detects all single-bit errors.
+        bit = position % (len(data) * 8)
+        corrupted = bytearray(data)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        assert crc16(bytes(corrupted)) != crc16(data)
+
+    def test_byte_swap_detected(self):
+        assert crc16(b"ab") != crc16(b"ba")

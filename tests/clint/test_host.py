@@ -1,0 +1,82 @@
+"""Clint host adapter."""
+
+import pytest
+
+from repro.clint.host import ClintHost
+from repro.clint.packets import GrantPacket, mask_to_vector
+
+
+class TestHost:
+    def test_config_reflects_voq_occupancy(self):
+        host = ClintHost(0, 4)
+        host.enqueue_bulk(2, slot=0)
+        host.enqueue_bulk(3, slot=0)
+        config = host.make_config()
+        assert mask_to_vector(config.req, 4) == [False, False, True, True]
+
+    def test_voq_capacity_enforced(self):
+        host = ClintHost(0, 4, voq_capacity=1)
+        assert host.enqueue_bulk(1, 0)
+        assert not host.enqueue_bulk(1, 1)
+        assert host.bulk_dropped == 1
+
+    def test_grant_pops_voq_and_emits_request(self):
+        host = ClintHost(1, 4)
+        host.enqueue_bulk(3, slot=5)
+        grant = GrantPacket(node_id=1, gnt=3, gnt_val=True)
+        requests = host.handle_grant(grant)
+        assert len(requests) == 1
+        assert requests[0].src == 1 and requests[0].dst == 3
+        assert requests[0].t_generated == 5
+        assert not host.voqs[3]
+
+    def test_invalid_grant_sends_nothing(self):
+        host = ClintHost(1, 4)
+        host.enqueue_bulk(3, slot=5)
+        assert host.handle_grant(GrantPacket(node_id=1, gnt_val=False)) == []
+        assert len(host.voqs[3]) == 1
+
+    def test_grant_errors_counted(self):
+        host = ClintHost(0, 4)
+        host.handle_grant(GrantPacket(node_id=0, crc_err=True))
+        host.handle_grant(GrantPacket(node_id=0, link_err=True))
+        assert host.grant_errors == 2
+
+    def test_multicast_request_appears_in_config(self):
+        host = ClintHost(2, 8)
+        host.request_multicast([1, 5], slot=0)
+        config = host.make_config()
+        assert mask_to_vector(config.pre, 8) == [
+            False, True, False, False, False, True, False, False
+        ]
+
+    def test_multicast_grant_emits_one_request_per_target(self):
+        host = ClintHost(2, 8)
+        host.request_multicast([1, 5], slot=0)
+        requests = host.handle_grant(
+            GrantPacket(node_id=2, gnt_val=False), multicast_targets=[1, 5]
+        )
+        assert {r.dst for r in requests} == {1, 5}
+        payloads = {r.payload_id for r in requests}
+        assert len(payloads) == 1  # the same packet, multicast
+
+    def test_multicast_cleared_after_transmission(self):
+        host = ClintHost(2, 8)
+        host.request_multicast([1], slot=0)
+        host.handle_grant(GrantPacket(node_id=2, gnt_val=False), multicast_targets=[1])
+        assert host.pending_precalc == 0
+
+    def test_receive_bulk_records_latency_and_acks(self):
+        from repro.clint.packets import BulkRequest
+
+        host = ClintHost(3, 4)
+        ack = host.receive_bulk(BulkRequest(src=0, dst=3, t_generated=2, payload_id=9), slot=4)
+        assert host.bulk_received == 1
+        assert host.received_latencies == [3]
+        assert ack.src == 3 and ack.dst == 0 and ack.payload_id == 9
+
+    def test_node_id_bounds(self):
+        with pytest.raises(ValueError):
+            ClintHost(4, 4)
+        with pytest.raises(ValueError):
+            ClintHost(0, 17)

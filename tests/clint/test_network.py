@@ -1,0 +1,156 @@
+"""Clint network end-to-end: pipeline timing, delivery, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.clint.network import ClintNetwork
+from repro.traffic.base import NO_ARRIVAL
+from repro.traffic.bernoulli import BernoulliUniform
+
+
+def one_arrival(n, src, dst):
+    arrivals = np.full(n, NO_ARRIVAL, dtype=np.int64)
+    arrivals[src] = dst
+    return arrivals
+
+
+class TestPipelineTiming:
+    def test_three_stage_pipeline(self):
+        """Figure 5: cfg/gnt in slot c, breq in c+1, back in c+2."""
+        net = ClintNetwork(4)
+        net.step(0, bulk_arrivals=one_arrival(4, 0, 2))
+        assert net.hosts[2].bulk_received == 0  # still in transfer stage
+        net.step(1)
+        assert net.hosts[2].bulk_received == 1  # transferred in slot c+1
+        assert net.hosts[0].acks_received == 0
+        net.step(2)
+        assert net.hosts[0].acks_received == 1  # acked in slot c+2
+
+    def test_min_bulk_latency_is_two_slots(self):
+        # One slot for scheduling + one for transfer.
+        net = ClintNetwork(4)
+        net.step(0, bulk_arrivals=one_arrival(4, 1, 3))
+        net.step(1)
+        assert net.stats.bulk_latencies == [2]
+
+    def test_pipeline_overlaps(self):
+        # Back-to-back packets from the same VOQ depart once per slot.
+        net = ClintNetwork(4)
+        net.step(0, bulk_arrivals=one_arrival(4, 0, 1))
+        net.step(1, bulk_arrivals=one_arrival(4, 0, 1))
+        net.step(2)
+        net.step(3)
+        assert net.hosts[1].bulk_received == 2
+
+
+class TestDelivery:
+    def test_every_request_is_acknowledged(self):
+        net = ClintNetwork(8, seed=1)
+        stats = net.run(300, bulk_traffic=BernoulliUniform(8, 0.4, seed=2))
+        assert stats.acks_delivered == stats.bulk_delivered
+
+    def test_conservation_after_drain(self):
+        net = ClintNetwork(8, seed=1)
+        traffic = BernoulliUniform(8, 0.3, seed=3)
+        offered = 0
+        for slot in range(200):
+            arrivals = traffic.arrivals()
+            offered += int((arrivals != NO_ARRIVAL).sum())
+            net.step(slot, bulk_arrivals=arrivals)
+        # Drain: run without new arrivals until VOQs empty.
+        slot = 200
+        while net.backlog() and slot < 1000:
+            net.step(slot)
+            slot += 1
+        net.step(slot)
+        net.step(slot + 1)
+        assert net.stats.bulk_delivered == offered
+
+    def test_quick_traffic_delivered_or_dropped(self):
+        net = ClintNetwork(8, seed=1)
+        stats = net.run(
+            200, quick_traffic=BernoulliUniform(8, 0.8, seed=4)
+        )
+        sent = sum(h.quick_sent for h in net.hosts)
+        assert stats.quick_delivered + stats.quick_dropped == sent
+        assert stats.quick_dropped > 0  # load 0.8 must collide sometimes
+
+
+class TestErrorPath:
+    def test_cfg_corruption_is_detected_not_fatal(self):
+        net = ClintNetwork(4, cfg_loss_rate=0.3, seed=5)
+        stats = net.run(300, bulk_traffic=BernoulliUniform(4, 0.3, seed=6))
+        assert stats.cfg_crc_errors > 0
+        assert stats.bulk_delivered > 0  # the network keeps working
+
+    def test_error_free_run_has_no_crc_errors(self):
+        net = ClintNetwork(4, cfg_loss_rate=0.0, seed=7)
+        stats = net.run(100, bulk_traffic=BernoulliUniform(4, 0.5, seed=8))
+        assert stats.cfg_crc_errors == 0
+
+    def test_corruption_slows_but_does_not_stop_delivery(self):
+        clean = ClintNetwork(4, cfg_loss_rate=0.0, seed=9)
+        lossy = ClintNetwork(4, cfg_loss_rate=0.5, seed=9)
+        traffic_a = BernoulliUniform(4, 0.6, seed=10)
+        traffic_b = BernoulliUniform(4, 0.6, seed=10)
+        stats_clean = clean.run(300, bulk_traffic=traffic_a)
+        stats_lossy = lossy.run(300, bulk_traffic=traffic_b)
+        assert 0 < stats_lossy.bulk_delivered < stats_clean.bulk_delivered
+
+
+class TestMulticast:
+    def test_precalc_multicast_delivers_to_all_targets(self):
+        net = ClintNetwork(8)
+        net.hosts[3].request_multicast([1, 5, 6], slot=0)
+        for slot in range(3):
+            net.step(slot)
+        assert net.hosts[1].bulk_received == 1
+        assert net.hosts[5].bulk_received == 1
+        assert net.hosts[6].bulk_received == 1
+        assert net.stats.multicast_deliveries == 3
+
+    def test_multicast_coexists_with_unicast(self):
+        net = ClintNetwork(8)
+        net.hosts[3].request_multicast([1, 5], slot=0)
+        net.step(0, bulk_arrivals=one_arrival(8, 0, 2))
+        net.step(1)
+        net.step(2)
+        assert net.hosts[1].bulk_received == 1
+        assert net.hosts[5].bulk_received == 1
+        assert net.hosts[2].bulk_received == 1
+
+    def test_mean_latency_statistic(self):
+        net = ClintNetwork(4, seed=11)
+        stats = net.run(200, bulk_traffic=BernoulliUniform(4, 0.2, seed=12))
+        assert stats.mean_bulk_latency >= 2.0
+
+
+class TestGrantErrorPath:
+    def test_grant_corruption_detected_and_reported(self):
+        net = ClintNetwork(4, gnt_loss_rate=0.3, seed=13)
+        stats = net.run(300, bulk_traffic=BernoulliUniform(4, 0.5, seed=14))
+        assert stats.gnt_crc_errors > 0
+        assert stats.bulk_delivered > 0  # retried grants eventually land
+
+    def test_lost_grant_leaves_packet_queued_for_retry(self):
+        # With a lossy grant path nothing is ever lost end to end: the
+        # ungranted packet stays in its VOQ and is re-requested.
+        net = ClintNetwork(4, gnt_loss_rate=0.5, seed=15)
+        traffic = BernoulliUniform(4, 0.3, seed=16)
+        offered = 0
+        for slot in range(200):
+            arrivals = traffic.arrivals()
+            offered += int((arrivals != NO_ARRIVAL).sum())
+            net.step(slot, bulk_arrivals=arrivals)
+        slot = 200
+        while net.backlog() and slot < 2000:
+            net.step(slot)
+            slot += 1
+        net.step(slot, quiesce=True)
+        net.step(slot + 1, quiesce=True)
+        assert net.stats.bulk_delivered == offered
+
+    def test_clean_grant_path_has_no_errors(self):
+        net = ClintNetwork(4, gnt_loss_rate=0.0, seed=17)
+        stats = net.run(100, bulk_traffic=BernoulliUniform(4, 0.5, seed=18))
+        assert stats.gnt_crc_errors == 0

@@ -1,0 +1,111 @@
+"""Clint packet formats: bit layout, CRC protection, roundtrips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clint.packets import (
+    ConfigPacket,
+    GrantPacket,
+    MAX_NODES,
+    TYPE_CFG,
+    TYPE_GNT,
+    mask_to_vector,
+    vector_to_mask,
+)
+
+
+class TestVectorMasks:
+    def test_roundtrip(self):
+        bits = [True, False, True, False] + [False] * 12
+        assert mask_to_vector(vector_to_mask(bits), 16) == bits
+
+    def test_mask_bit_positions(self):
+        assert vector_to_mask([True] + [False] * 15) == 1
+        assert vector_to_mask([False, False, True]) == 4
+
+    def test_too_long_vector_rejected(self):
+        with pytest.raises(ValueError):
+            vector_to_mask([False] * 17)
+
+
+class TestConfigPacket:
+    def test_wire_size_is_11_bytes(self):
+        assert len(ConfigPacket(req=0).pack()) == 11
+
+    def test_type_byte(self):
+        assert ConfigPacket(req=0).pack()[0] == TYPE_CFG
+
+    def test_roundtrip(self):
+        packet = ConfigPacket(req=0xA5A5, pre=0x0010, ben=0xFFFE, qen=0x7FFF)
+        assert ConfigPacket.unpack(packet.pack()) == packet
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigPacket(req=1 << 16)
+
+    def test_corrupted_payload_rejected(self):
+        raw = bytearray(ConfigPacket(req=0x1234).pack())
+        raw[3] ^= 0x40
+        with pytest.raises(ValueError, match="CRC"):
+            ConfigPacket.unpack(bytes(raw))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="11 bytes"):
+            ConfigPacket.unpack(b"\x01\x02")
+
+    def test_wrong_type_rejected(self):
+        raw = bytearray(ConfigPacket(req=0).pack())
+        raw[0] = 0x7F
+        with pytest.raises(ValueError, match="not a config"):
+            ConfigPacket.unpack(bytes(raw))
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, req, pre):
+        packet = ConfigPacket(req=req, pre=pre)
+        assert ConfigPacket.unpack(packet.pack()) == packet
+
+
+class TestGrantPacket:
+    def test_wire_size_is_5_bytes(self):
+        assert len(GrantPacket(node_id=0).pack()) == 5
+
+    def test_type_byte(self):
+        assert GrantPacket(node_id=3).pack()[0] == TYPE_GNT
+
+    def test_roundtrip_all_flags(self):
+        packet = GrantPacket(
+            node_id=15, gnt=9, gnt_val=True, link_err=True, crc_err=True
+        )
+        assert GrantPacket.unpack(packet.pack()) == packet
+
+    def test_node_id_range_enforced(self):
+        with pytest.raises(ValueError):
+            GrantPacket(node_id=MAX_NODES)
+
+    def test_gnt_range_enforced(self):
+        with pytest.raises(ValueError):
+            GrantPacket(node_id=0, gnt=16)
+
+    def test_nibble_packing(self):
+        raw = GrantPacket(node_id=0xA, gnt=0x5).pack()
+        assert raw[1] == 0xA5
+
+    def test_corruption_detected(self):
+        raw = bytearray(GrantPacket(node_id=2, gnt=7, gnt_val=True).pack())
+        raw[2] ^= 0x04  # flip gntVal
+        with pytest.raises(ValueError, match="CRC"):
+            GrantPacket.unpack(bytes(raw))
+
+    @given(
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, node_id, gnt, val, link, crc_err):
+        packet = GrantPacket(node_id, gnt, val, link, crc_err)
+        assert GrantPacket.unpack(packet.pack()) == packet

@@ -1,0 +1,128 @@
+"""Clint switch: bulk scheduling with CRC handling, quick collisions."""
+
+import numpy as np
+import pytest
+
+from repro.clint.packets import ConfigPacket, QuickPacket
+from repro.clint.switch import ClintSwitch
+
+
+def configs_for(switch_n, requests):
+    """Build packed config packets from a request matrix."""
+    packets = []
+    for i in range(switch_n):
+        mask = 0
+        for j in range(switch_n):
+            if requests[i][j]:
+                mask |= 1 << j
+        packets.append(ConfigPacket(req=mask).pack())
+    return packets
+
+
+class TestBulkScheduling:
+    def test_grants_follow_lcf(self):
+        switch = ClintSwitch(4)
+        requests = [[0, 0, 1, 0], [0, 0, 0, 0], [0, 0, 0, 0], [0, 0, 0, 0]]
+        grants, result = switch.schedule_bulk(configs_for(4, requests))
+        assert grants[0].gnt_val and grants[0].gnt == 2
+        assert not grants[1].gnt_val
+
+    def test_corrupt_config_sets_crc_err_and_zeroes_requests(self):
+        switch = ClintSwitch(4)
+        packets = configs_for(4, [[1, 0, 0, 0]] * 4)
+        corrupted = bytearray(packets[2])
+        corrupted[4] ^= 0xFF
+        packets[2] = bytes(corrupted)
+        grants, result = switch.schedule_bulk(packets)
+        assert grants[2].crc_err
+        assert not grants[2].gnt_val  # its requests were dropped
+        assert switch.cfg_crc_errors == 1
+
+    def test_missing_config_treated_as_error(self):
+        switch = ClintSwitch(4)
+        packets = configs_for(4, [[0] * 4] * 4)
+        packets[1] = None
+        grants, _ = switch.schedule_bulk(packets)
+        assert grants[1].crc_err
+
+    def test_crc_err_clears_after_one_grant(self):
+        switch = ClintSwitch(4)
+        packets = configs_for(4, [[0] * 4] * 4)
+        first, _ = switch.schedule_bulk([None] + packets[1:])
+        assert first[0].crc_err
+        second, _ = switch.schedule_bulk(packets)
+        assert not second[0].crc_err
+
+    def test_link_error_reported_once(self):
+        switch = ClintSwitch(4)
+        switch.note_link_error(3)
+        packets = configs_for(4, [[0] * 4] * 4)
+        first, _ = switch.schedule_bulk(packets)
+        assert first[3].link_err
+        second, _ = switch.schedule_bulk(packets)
+        assert not second[3].link_err
+
+    def test_ben_mask_fences_off_host(self):
+        switch = ClintSwitch(4)
+        packets = configs_for(4, [[0, 1, 0, 0]] * 4)
+        # Host 3 vetoes host 0 via its ben field.
+        veto = ConfigPacket(req=0, ben=0xFFFF & ~1).pack()
+        packets[3] = veto
+        grants, _ = switch.schedule_bulk(packets)
+        assert not grants[0].gnt_val  # host 0 disabled
+
+
+class TestQuickChannel:
+    def test_no_collision_delivers_all(self):
+        switch = ClintSwitch(4)
+        packets = [QuickPacket(0, 1, 0, 0), QuickPacket(2, 3, 0, 1)]
+        delivered, dropped = switch.forward_quick(packets)
+        assert len(delivered) == 2 and not dropped
+
+    def test_collision_drops_losers(self):
+        switch = ClintSwitch(4)
+        packets = [QuickPacket(i, 0, 0, i) for i in range(3)]
+        delivered, dropped = switch.forward_quick(packets)
+        assert len(delivered) == 1 and len(dropped) == 2
+        assert switch.quick_drops == 2
+
+    def test_collision_winner_rotates(self):
+        switch = ClintSwitch(2)
+        winners = []
+        for _ in range(4):
+            packets = [QuickPacket(0, 1, 0, 0), QuickPacket(1, 1, 0, 1)]
+            delivered, _ = switch.forward_quick(packets)
+            winners.append(delivered[0].src)
+        assert set(winners) == {0, 1}
+
+
+class TestQuickEnableMask:
+    def test_qen_fences_quick_traffic(self):
+        switch = ClintSwitch(4)
+        # Host 3's cfg vetoes host 0 on the quick channel.
+        packets = [ConfigPacket(req=0).pack()] * 3 + [
+            ConfigPacket(req=0, qen=0xFFFF & ~1).pack()
+        ]
+        switch.schedule_bulk(packets)
+        delivered, dropped = switch.forward_quick(
+            [QuickPacket(0, 1, 0, 0), QuickPacket(2, 3, 0, 1)]
+        )
+        assert [p.src for p in delivered] == [2]
+        assert [p.src for p in dropped] == [0]
+        assert switch.quick_fenced == 1
+
+    def test_qen_default_allows_everyone(self):
+        switch = ClintSwitch(4)
+        switch.schedule_bulk([ConfigPacket(req=0).pack()] * 4)
+        delivered, dropped = switch.forward_quick([QuickPacket(0, 1, 0, 0)])
+        assert len(delivered) == 1 and not dropped
+
+    def test_fence_lifts_when_mask_restored(self):
+        switch = ClintSwitch(4)
+        veto = [ConfigPacket(req=0, qen=0xFFFF & ~1).pack()] * 4
+        switch.schedule_bulk(veto)
+        delivered, _ = switch.forward_quick([QuickPacket(0, 1, 0, 0)])
+        assert not delivered
+        switch.schedule_bulk([ConfigPacket(req=0).pack()] * 4)
+        delivered, _ = switch.forward_quick([QuickPacket(0, 1, 0, 0)])
+        assert len(delivered) == 1

@@ -1,0 +1,39 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+
+def request_matrices(min_n: int = 1, max_n: int = 8) -> st.SearchStrategy[np.ndarray]:
+    """Random square boolean request matrices."""
+    return st.integers(min_n, max_n).flatmap(
+        lambda n: arrays(np.bool_, (n, n), elements=st.booleans())
+    )
+
+
+def request_matrices_of(n: int) -> st.SearchStrategy[np.ndarray]:
+    """Random n x n boolean request matrices."""
+    return arrays(np.bool_, (n, n), elements=st.booleans())
+
+
+@pytest.fixture
+def fig3_requests() -> np.ndarray:
+    """The paper's Figure 3 worked example (4x4)."""
+    return np.array(
+        [
+            [0, 1, 1, 0],  # I0 -> T1, T2
+            [1, 0, 1, 1],  # I1 -> T0, T2, T3
+            [1, 0, 1, 1],  # I2 -> T0, T2, T3
+            [0, 1, 0, 0],  # I3 -> T1
+        ],
+        dtype=bool,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,101 @@
+"""Scheduler base-class contract and the rotating tie-break helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import IterativeScheduler, Scheduler, rotating_argmin
+from repro.types import NO_GRANT, empty_schedule
+
+
+class _Stub(Scheduler):
+    name = "stub"
+
+    def _schedule(self, requests):
+        # Grant nothing; also mutate the input to prove callers are isolated.
+        requests[:] = False
+        return empty_schedule(self.n)
+
+
+class TestSchedulerContract:
+    def test_rejects_nonpositive_port_count(self):
+        with pytest.raises(ValueError):
+            _Stub(0)
+
+    def test_rejects_wrong_matrix_size(self):
+        scheduler = _Stub(4)
+        with pytest.raises(ValueError):
+            scheduler.schedule(np.ones((3, 3), dtype=bool))
+
+    def test_rejects_non_square_matrix(self):
+        scheduler = _Stub(4)
+        with pytest.raises(ValueError):
+            scheduler.schedule(np.ones((4, 3), dtype=bool))
+
+    def test_caller_matrix_is_not_mutated(self):
+        scheduler = _Stub(3)
+        requests = np.ones((3, 3), dtype=bool)
+        scheduler.schedule(requests)
+        assert requests.all()
+
+    def test_accepts_int_matrix(self):
+        scheduler = _Stub(2)
+        schedule = scheduler.schedule(np.array([[1, 0], [0, 1]]))
+        assert (schedule == NO_GRANT).all()
+
+    def test_schedule_checked_raises_on_invalid(self):
+        class Bad(Scheduler):
+            name = "bad"
+
+            def _schedule(self, requests):
+                return np.zeros(self.n, dtype=np.int64)  # everyone -> output 0
+
+        with pytest.raises(AssertionError):
+            Bad(3).schedule_checked(np.ones((3, 3), dtype=bool))
+
+
+class TestIterativeScheduler:
+    def test_default_iterations_is_four(self):
+        class Iter(IterativeScheduler):
+            def _schedule(self, requests):
+                return empty_schedule(self.n)
+
+        assert Iter(4).iterations == 4
+
+    def test_rejects_zero_iterations(self):
+        class Iter(IterativeScheduler):
+            def _schedule(self, requests):
+                return empty_schedule(self.n)
+
+        with pytest.raises(ValueError):
+            Iter(4, iterations=0)
+
+
+class TestRotatingArgmin:
+    def test_picks_minimum(self):
+        keys = np.array([3, 1, 2])
+        candidates = np.array([True, True, True])
+        assert rotating_argmin(keys, candidates, start=0) == 1
+
+    def test_tie_broken_by_chain_from_start(self):
+        keys = np.array([1, 1, 1, 1])
+        candidates = np.array([True, True, True, True])
+        assert rotating_argmin(keys, candidates, start=2) == 2
+
+    def test_chain_wraps_around(self):
+        keys = np.array([1, 1, 5, 5])
+        candidates = np.array([True, True, True, True])
+        assert rotating_argmin(keys, candidates, start=3) == 0
+
+    def test_ignores_non_candidates(self):
+        keys = np.array([0, 5, 5])
+        candidates = np.array([False, True, True])
+        assert rotating_argmin(keys, candidates, start=0) == 1
+
+    def test_raises_with_no_candidates(self):
+        with pytest.raises(ValueError):
+            rotating_argmin(np.array([1, 2]), np.array([False, False]), start=0)
+
+    def test_start_equal_to_min_candidate(self):
+        keys = np.array([2, 2, 9])
+        candidates = np.array([True, True, False])
+        assert rotating_argmin(keys, candidates, start=1) == 1

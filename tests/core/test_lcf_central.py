@@ -1,0 +1,218 @@
+"""Central LCF scheduler: Figure 2 semantics, rotation, maximality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.lcf_central import LCFCentral, LCFCentralRR, LCFCentralVariant, RRCoverage
+from repro.matching.hopcroft_karp import maximum_matching_size
+from repro.matching.verify import is_maximal, is_valid_schedule, matching_size
+from repro.types import NO_GRANT
+
+from tests.conftest import request_matrices
+
+
+class TestFigure3:
+    """The paper's worked example (Section 3, Figure 3)."""
+
+    def test_full_cycle_result(self, fig3_requests):
+        scheduler = LCFCentralRR(4)
+        scheduler.set_rr_offsets(1, 0)  # diagonal starts at [I1, T0]
+        schedule = scheduler.schedule(fig3_requests)
+        # Paper: T0 -> I1 (RR), T1 -> I3 (priority), T2 -> I0, T3 -> I2.
+        assert schedule.tolist() == [2, 0, 3, 1]
+
+    def test_rr_position_wins_over_lcf_priority(self):
+        # I0 has one request (highest LCF priority) for T0, but the RR
+        # position sits on [I1, T0], so I1 wins.
+        requests = np.zeros((4, 4), dtype=bool)
+        requests[0, 0] = True
+        requests[1, 0] = requests[1, 1] = requests[1, 2] = True
+        scheduler = LCFCentralRR(4)
+        scheduler.set_rr_offsets(1, 0)
+        schedule = scheduler.schedule(requests)
+        assert schedule[1] == 0
+        assert schedule[0] == NO_GRANT
+
+    def test_pure_lcf_gives_priority_to_fewest_requests(self):
+        requests = np.zeros((4, 4), dtype=bool)
+        requests[0, 0] = True
+        requests[1, 0] = requests[1, 1] = requests[1, 2] = True
+        scheduler = LCFCentral(4)  # no RR-wins rule
+        schedule = scheduler.schedule(requests)
+        assert schedule[0] == 0  # least choice first
+
+    def test_offsets_advance_per_figure2(self, fig3_requests):
+        scheduler = LCFCentralRR(4)
+        assert scheduler.rr_offsets == (0, 0)
+        for expected_i, expected_j in [(1, 0), (2, 0), (3, 0), (0, 1), (1, 1)]:
+            scheduler.schedule(fig3_requests)
+            assert scheduler.rr_offsets == (expected_i, expected_j)
+
+    def test_reset_restores_offsets(self, fig3_requests):
+        scheduler = LCFCentralRR(4)
+        scheduler.schedule(fig3_requests)
+        scheduler.reset()
+        assert scheduler.rr_offsets == (0, 0)
+
+
+class TestNrqRecalculation:
+    def test_priorities_recomputed_after_each_grant(self):
+        # I0 requests T0 and T1; I1 requests T1 only. Scheduling order
+        # T0 first: I0 takes T0 (only requester). When T1 is scheduled
+        # I0 is out of the running (row cleared) -> I1 gets T1 even
+        # though it started with equal nrq... crafted so a stale-nrq
+        # implementation would differ.
+        requests = np.array(
+            [
+                [True, True, False],
+                [False, True, False],
+                [False, False, False],
+            ]
+        )
+        schedule = LCFCentral(3).schedule(requests)
+        assert schedule.tolist() == [0, 1, NO_GRANT]
+
+    def test_nrq_decrement_changes_later_priority(self):
+        # I0: {T1, T2}; I1: {T0, T2}; I2: {T2}. Order T0, T1, T2.
+        # T0 -> I1 (sole requester). T1 -> I0. T2 -> I2 (nrq 1).
+        requests = np.array(
+            [
+                [False, True, True],
+                [True, False, True],
+                [False, False, True],
+            ]
+        )
+        schedule = LCFCentral(3).schedule(requests)
+        assert schedule.tolist() == [1, 0, 2]
+
+    def test_requests_for_scheduled_columns_do_not_count(self):
+        # After T0 is scheduled, I1's request for T0 must stop counting
+        # towards its priority at T1: I1 (effective nrq 1) beats I2 (2).
+        requests = np.array(
+            [
+                [True, False, False, False],
+                [True, True, False, False],
+                [False, True, True, False],
+                [False, False, False, False],
+            ]
+        )
+        schedule = LCFCentral(4).schedule(requests)
+        assert schedule[0] == 0
+        assert schedule[1] == 1
+        assert schedule[2] == 2
+
+
+class TestRotation:
+    def test_target_order_rotates_with_j(self):
+        # Both inputs request both outputs with equal nrq; which output
+        # is scheduled first depends on J.
+        requests = np.ones((2, 2), dtype=bool)
+        scheduler = LCFCentralRR(2)
+        results = [scheduler.schedule(requests).tolist() for _ in range(4)]
+        assert len({tuple(r) for r in results}) > 1  # rotation changes outcomes
+
+    def test_every_position_is_rr_position_once_per_n_squared(self):
+        n = 3
+        scheduler = LCFCentralRR(n)
+        seen = set()
+        for _ in range(n * n):
+            i, j = scheduler.rr_offsets
+            seen.update(((i + k) % n, (j + k) % n) for k in range(n))
+            scheduler.schedule(np.zeros((n, n), dtype=bool))
+        assert seen == {(i, j) for i in range(n) for j in range(n)}
+
+
+class TestProperties:
+    @given(request_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_schedule_always_valid(self, requests):
+        scheduler = LCFCentralRR(requests.shape[0])
+        assert is_valid_schedule(requests, scheduler.schedule(requests))
+
+    @given(request_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_schedule_always_maximal(self, requests):
+        # Both variants allocate every output that has any remaining
+        # requester, so the matching is maximal.
+        for cls in (LCFCentral, LCFCentralRR):
+            scheduler = cls(requests.shape[0])
+            assert is_maximal(requests, scheduler.schedule(requests))
+
+    @given(request_matrices(min_n=2, max_n=6))
+    @settings(max_examples=60, deadline=None)
+    def test_matching_at_least_half_of_maximum(self, requests):
+        scheduler = LCFCentral(requests.shape[0])
+        size = matching_size(scheduler.schedule(requests))
+        assert 2 * size >= maximum_matching_size(requests)
+
+    @given(request_matrices(min_n=2, max_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_given_state(self, requests):
+        a, b = LCFCentral(requests.shape[0]), LCFCentral(requests.shape[0])
+        assert (a.schedule(requests) == b.schedule(requests)).all()
+
+
+class TestVariants:
+    def test_diagonal_first_pregrants_whole_diagonal(self):
+        n = 4
+        requests = np.ones((n, n), dtype=bool)
+        scheduler = LCFCentralVariant(n, coverage=RRCoverage.DIAGONAL_FIRST)
+        schedule = scheduler.schedule(requests)
+        # With offsets (0,0) the pre-granted diagonal is the identity.
+        assert schedule.tolist() == [0, 1, 2, 3]
+
+    def test_single_position_only_wins_at_its_column(self):
+        n = 3
+        # RR position (0, 0). I0 has many requests, I1 has one (for T0):
+        # with SINGLE coverage the position (0,0) still wins T0.
+        requests = np.array(
+            [
+                [True, True, True],
+                [True, False, False],
+                [False, False, False],
+            ]
+        )
+        scheduler = LCFCentralVariant(n, coverage=RRCoverage.SINGLE)
+        schedule = scheduler.schedule(requests)
+        assert schedule[0] == 0
+
+    def test_none_matches_lcf_central(self, fig3_requests):
+        variant = LCFCentralVariant(4, coverage=RRCoverage.NONE)
+        plain = LCFCentral(4)
+        for _ in range(10):
+            assert (
+                variant.schedule(fig3_requests) == plain.schedule(fig3_requests)
+            ).all()
+
+    def test_diagonal_matches_lcf_central_rr(self, fig3_requests):
+        variant = LCFCentralVariant(4, coverage=RRCoverage.DIAGONAL)
+        rr = LCFCentralRR(4)
+        for _ in range(10):
+            assert (
+                variant.schedule(fig3_requests) == rr.schedule(fig3_requests)
+            ).all()
+
+
+class TestEdgeCases:
+    def test_single_port_switch(self):
+        scheduler = LCFCentralRR(1)
+        assert scheduler.schedule(np.array([[True]])).tolist() == [0]
+        assert scheduler.schedule(np.array([[False]])).tolist() == [NO_GRANT]
+
+    def test_empty_matrix_grants_nothing(self):
+        scheduler = LCFCentralRR(5)
+        assert (scheduler.schedule(np.zeros((5, 5), dtype=bool)) == NO_GRANT).all()
+
+    def test_full_matrix_gives_perfect_matching(self):
+        scheduler = LCFCentralRR(6)
+        schedule = scheduler.schedule(np.ones((6, 6), dtype=bool))
+        assert matching_size(schedule) == 6
+
+    def test_permutation_matrix_granted_exactly(self):
+        perm = np.zeros((4, 4), dtype=bool)
+        order = [2, 0, 3, 1]
+        for i, j in enumerate(order):
+            perm[i, j] = True
+        schedule = LCFCentralRR(4).schedule(perm)
+        assert schedule.tolist() == order

@@ -1,0 +1,156 @@
+"""Distributed LCF scheduler: Section 5 semantics and the Figure 9 example."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.lcf_dist import LCFDistributed, LCFDistributedRR
+from repro.matching.verify import is_maximal, is_valid_schedule, matching_size
+from repro.types import NO_GRANT
+
+from tests.conftest import request_matrices
+
+
+def fig9_requests() -> np.ndarray:
+    """Reconstruction of the Figure 9 example (consistent with all the
+    facts stated in the text: NRQ = [1, 3, 3, 2]; T2 receives requests
+    from I0, I1, I2 and grants I0; I3 receives grants from T1 and T3 and
+    accepts T1)."""
+    requests = np.zeros((4, 4), dtype=bool)
+    requests[0, 2] = True  # I0 -> T2
+    requests[1, [0, 2, 3]] = True  # I1 -> T0, T2, T3
+    requests[2, [0, 2, 3]] = True  # I2 -> T0, T2, T3
+    requests[3, [1, 3]] = True  # I3 -> T1, T3
+    return requests
+
+
+class TestFigure9:
+    def test_iteration0_grants_and_accepts(self):
+        scheduler = LCFDistributed(4, iterations=1)
+        scheduler.record_trace = True
+        schedule = scheduler.schedule(fig9_requests())
+        trace = scheduler.last_trace[0]
+        assert trace.nrq.tolist() == [1, 3, 3, 2]
+        # T2 grants I0 (least choice); T1 and T3 both grant I3.
+        assert trace.grants[0, 2]
+        assert trace.grants[3, 1] and trace.grants[3, 3]
+        # I3 accepts T1 (ngt 1 < ngt 3).
+        assert schedule[3] == 1
+        assert schedule[0] == 2
+
+    def test_two_iterations_complete_the_matching(self):
+        scheduler = LCFDistributed(4, iterations=2)
+        schedule = scheduler.schedule(fig9_requests())
+        # Iteration 1 matches the leftover pair (I2, T3).
+        assert matching_size(schedule) == 4
+        assert schedule[2] == 3
+
+    def test_iteration1_only_considers_unmatched(self):
+        scheduler = LCFDistributed(4, iterations=2)
+        scheduler.record_trace = True
+        scheduler.schedule(fig9_requests())
+        second = scheduler.last_trace[1]
+        # Only I2 is still requesting, and only T3 is free.
+        assert second.requests.sum() == 1
+        assert second.requests[2, 3]
+        assert second.nrq[2] == 1
+
+
+class TestGrantPriorities:
+    def test_grant_goes_to_fewest_requests(self):
+        requests = np.zeros((3, 3), dtype=bool)
+        requests[0, 0] = True  # I0: one choice
+        requests[1, 0] = requests[1, 1] = requests[1, 2] = True
+        schedule = LCFDistributed(3, iterations=1).schedule(requests)
+        assert schedule[0] == 0  # least choice wins the grant
+
+    def test_accept_goes_to_fewest_received(self):
+        # I0 requests T0 (contested by I1 too -> ngt 2) and T1 (ngt 1).
+        # Both targets grant I0 (it has the lowest nrq at both); I0 must
+        # accept T1, the less-contested target.
+        requests = np.zeros((3, 3), dtype=bool)
+        requests[0, 0] = requests[0, 1] = True
+        requests[1, 0] = requests[1, 2] = True
+        schedule = LCFDistributed(3, iterations=1).schedule(requests)
+        assert schedule[0] == 1
+
+    def test_tie_break_uses_rotating_pointer(self):
+        # Two equal-priority requesters for one output: the winner must
+        # change across scheduling cycles as the pointer moves.
+        requests = np.zeros((2, 2), dtype=bool)
+        requests[0, 0] = requests[1, 0] = True
+        scheduler = LCFDistributed(2, iterations=1)
+        winners = set()
+        for _ in range(4):
+            schedule = scheduler.schedule(requests)
+            winners.add(int(np.flatnonzero(schedule != NO_GRANT)[0]))
+        assert winners == {0, 1}
+
+
+class TestConvergence:
+    @given(request_matrices(min_n=2, max_n=6))
+    @settings(max_examples=60, deadline=None)
+    def test_n_iterations_always_maximal(self, requests):
+        n = requests.shape[0]
+        scheduler = LCFDistributed(n, iterations=n)
+        assert is_maximal(requests, scheduler.schedule(requests))
+
+    @given(request_matrices(max_n=6))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_always_valid(self, requests):
+        scheduler = LCFDistributed(requests.shape[0])
+        assert is_valid_schedule(requests, scheduler.schedule(requests))
+
+    def test_early_exit_on_convergence(self):
+        # A permutation matrix matches fully in one iteration; further
+        # iterations must be no-ops (verified via the trace length).
+        scheduler = LCFDistributed(4, iterations=4)
+        scheduler.record_trace = True
+        scheduler.schedule(np.eye(4, dtype=bool))
+        assert len(scheduler.last_trace) <= 2
+
+    def test_more_iterations_never_shrink_matching(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            requests = rng.random((6, 6)) < 0.4
+            sizes = [
+                matching_size(LCFDistributed(6, iterations=k).schedule(requests))
+                for k in (1, 2, 4, 6)
+            ]
+            assert sizes == sorted(sizes)
+
+
+class TestDistributedRR:
+    def test_rr_position_matched_before_iterations(self):
+        requests = np.ones((3, 3), dtype=bool)
+        scheduler = LCFDistributedRR(3, iterations=1)
+        scheduler.set_rr_position(2, 1)
+        schedule = scheduler.schedule(requests)
+        assert schedule[2] == 1
+
+    def test_rr_position_advances_row_first(self):
+        scheduler = LCFDistributedRR(3)
+        empty = np.zeros((3, 3), dtype=bool)
+        positions = []
+        for _ in range(4):
+            positions.append(scheduler.rr_position)
+            scheduler.schedule(empty)
+        assert positions == [(0, 0), (1, 0), (2, 0), (0, 1)]
+
+    def test_rr_skipped_when_position_has_no_request(self):
+        requests = np.zeros((3, 3), dtype=bool)
+        requests[1, 2] = True
+        scheduler = LCFDistributedRR(3, iterations=2)  # RR at (0, 0): empty
+        schedule = scheduler.schedule(requests)
+        assert schedule[1] == 2
+
+    def test_reset_restores_rr_position(self):
+        scheduler = LCFDistributedRR(4)
+        scheduler.schedule(np.zeros((4, 4), dtype=bool))
+        scheduler.reset()
+        assert scheduler.rr_position == (0, 0)
+
+    @given(request_matrices(max_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_rr_schedule_always_valid(self, requests):
+        scheduler = LCFDistributedRR(requests.shape[0])
+        assert is_valid_schedule(requests, scheduler.schedule(requests))

@@ -1,0 +1,123 @@
+"""Message-passing distributed LCF: equivalence + wire accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lcf_dist import LCFDistributed
+from repro.core.lcf_dist_agents import (
+    AcceptMsg,
+    GrantMsg,
+    LCFDistributedAgents,
+    RequestMsg,
+)
+from repro.hw.comm import distributed_bits
+from repro.matching.verify import is_valid_schedule, matching_size
+
+from tests.conftest import request_matrices
+
+
+class TestMessageFormats:
+    def test_field_widths_match_figure10b(self):
+        n = 16
+        assert RequestMsg(0, 1, 3).bits(n) == 1 + 4
+        assert GrantMsg(1, 0, 2).bits(n) == 1 + 4
+        assert AcceptMsg(0, 1).bits(n) == 1
+
+
+class TestEquivalence:
+    @given(request_matrices(min_n=2, max_n=6), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_single_cycle_matches_matrix_implementation(self, requests, iterations):
+        n = requests.shape[0]
+        agents = LCFDistributedAgents(n, iterations)
+        matrix = LCFDistributed(n, iterations)
+        assert (agents.schedule(requests) == matrix.schedule(requests)).all()
+
+    def test_long_run_stays_synchronised(self):
+        """Pointers must evolve identically, so matchings agree forever."""
+        rng = np.random.default_rng(0)
+        n = 6
+        agents = LCFDistributedAgents(n, iterations=4)
+        matrix = LCFDistributed(n, iterations=4)
+        for _ in range(100):
+            requests = rng.random((n, n)) < 0.5
+            assert (agents.schedule(requests) == matrix.schedule(requests)).all()
+
+    @given(request_matrices(max_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_always_valid(self, requests):
+        agents = LCFDistributedAgents(requests.shape[0])
+        assert is_valid_schedule(requests, agents.schedule(requests))
+
+
+class TestWireAccounting:
+    def test_empty_matrix_sends_nothing(self):
+        agents = LCFDistributedAgents(4)
+        agents.schedule(np.zeros((4, 4), dtype=bool))
+        assert agents.last_message_log.total_messages == 0
+
+    def test_request_counts_match_protocol(self):
+        # A permutation matrix: n requests, n grants, n accepts, done in
+        # one iteration (iteration 2 has nothing left to send).
+        n = 4
+        agents = LCFDistributedAgents(n, iterations=4)
+        agents.schedule(np.eye(n, dtype=bool))
+        log = agents.last_message_log
+        assert log.requests == n
+        assert log.grants == n
+        assert log.accepts == n
+
+    def test_bits_never_exceed_section62_budget(self):
+        """The paper's i*n^2*(2 log2 n + 3) is the wiring capacity; the
+        actual traffic must fit inside it for every workload."""
+        rng = np.random.default_rng(1)
+        n, iterations = 8, 4
+        agents = LCFDistributedAgents(n, iterations)
+        budget = distributed_bits(n, iterations)
+        for _ in range(50):
+            requests = rng.random((n, n)) < rng.random()
+            agents.schedule(requests)
+            assert agents.last_message_log.total_bits <= budget
+
+    def test_full_matrix_first_iteration_saturates_request_wires(self):
+        # All n^2 request wires carry a message in iteration 1.
+        n = 4
+        agents = LCFDistributedAgents(n, iterations=1)
+        agents.schedule(np.ones((n, n), dtype=bool))
+        assert agents.last_message_log.requests == n * n
+
+    def test_matched_ports_stop_talking(self):
+        # After convergence on a permutation, extra iterations add zero
+        # messages.
+        n = 4
+        one = LCFDistributedAgents(n, iterations=1)
+        many = LCFDistributedAgents(n, iterations=8)
+        one.schedule(np.eye(n, dtype=bool))
+        many.schedule(np.eye(n, dtype=bool))
+        assert (
+            one.last_message_log.total_messages
+            == many.last_message_log.total_messages
+        )
+
+
+class TestAgentIsolation:
+    def test_agents_share_no_arrays(self):
+        """Each agent's view is its own copy — mutating one input's row
+        cannot leak into another agent or the caller."""
+        n = 4
+        agents = LCFDistributedAgents(n)
+        requests = np.ones((n, n), dtype=bool)
+        agents.schedule(requests)
+        agents.inputs[0].row[:] = False
+        assert requests.all()
+        assert agents.inputs[1].row.all()
+
+    def test_reset_rebuilds_agents(self):
+        agents = LCFDistributedAgents(4)
+        agents.schedule(np.ones((4, 4), dtype=bool))
+        agents.reset()
+        assert all(a.accept_ptr == 0 for a in agents.inputs)
+        assert all(a.grant_ptr == 0 for a in agents.outputs)
+        assert agents.last_message_log.total_messages == 0

@@ -1,0 +1,101 @@
+"""Multicast scheduling: cells, queues, least-residue-first policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.multicast import MulticastCell, MulticastQueue, MulticastScheduler
+from repro.types import NO_GRANT
+
+
+def cell(src, fanout, t=0):
+    return MulticastCell(src, set(fanout), t)
+
+
+class TestCell:
+    def test_residue_shrinks_with_delivery(self):
+        c = cell(0, {1, 2, 3})
+        c.delivered.add(2)
+        assert c.residue == {1, 3}
+        assert not c.complete
+
+    def test_complete_when_fanout_served(self):
+        c = cell(0, {1})
+        c.delivered.add(1)
+        assert c.complete
+
+
+class TestQueue:
+    def test_fifo_head(self):
+        q = MulticastQueue()
+        a, b = cell(0, {1}), cell(0, {2})
+        q.push(a)
+        q.push(b)
+        assert q.head() is a
+
+    def test_capacity_drops(self):
+        q = MulticastQueue(capacity=1)
+        assert q.push(cell(0, {1}))
+        assert not q.push(cell(0, {2}))
+        assert q.dropped == 1
+
+    def test_pop_only_when_complete(self):
+        q = MulticastQueue()
+        c = cell(0, {1, 2})
+        q.push(c)
+        assert q.pop_if_complete() is None
+        c.delivered.update({1, 2})
+        assert q.pop_if_complete() is c
+        assert len(q) == 0
+
+
+class TestScheduler:
+    def test_single_contender_wins_its_outputs(self):
+        scheduler = MulticastScheduler(4)
+        heads = [cell(0, {1, 3}), None, None, None]
+        assignment = scheduler.schedule(heads)
+        assert assignment[1] == 0 and assignment[3] == 0
+        assert assignment[0] == NO_GRANT
+
+    def test_one_input_can_feed_many_outputs(self):
+        scheduler = MulticastScheduler(4)
+        heads = [cell(0, {0, 1, 2, 3}), None, None, None]
+        assignment = scheduler.schedule(heads)
+        assert (assignment == 0).all()
+
+    def test_least_residue_wins_contention(self):
+        scheduler = MulticastScheduler(4)
+        heads = [cell(0, {2}), cell(1, {2, 3}), None, None]
+        assignment = scheduler.schedule(heads)
+        assert assignment[2] == 0  # residue 1 beats residue 2
+        assert assignment[3] == 1  # uncontested
+
+    def test_residue_not_original_fanout_counts(self):
+        scheduler = MulticastScheduler(4)
+        big = cell(0, {1, 2, 3})
+        big.delivered.update({1, 3})  # residue is now just {2}
+        small = cell(1, {2, 3})
+        assignment = scheduler.schedule([big, small, None, None])
+        assert assignment[2] == 0
+
+    def test_ties_rotate(self):
+        scheduler = MulticastScheduler(2)
+        winners = set()
+        for _ in range(3):
+            heads = [cell(0, {0}), cell(1, {0})]
+            winners.add(int(scheduler.schedule(heads)[0]))
+        assert winners == {0, 1}
+
+    def test_random_policy_is_seeded(self):
+        a = MulticastScheduler(4, policy="random", seed=3)
+        b = MulticastScheduler(4, policy="random", seed=3)
+        heads = [cell(0, {1}), cell(1, {1}), cell(2, {1}), None]
+        for _ in range(5):
+            assert (a.schedule(heads) == b.schedule(heads)).all()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastScheduler(4, policy="nope")
+
+    def test_wrong_head_count_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastScheduler(4).schedule([None, None])

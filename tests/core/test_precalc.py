@@ -1,0 +1,117 @@
+"""Precalculated-schedule stage (Section 4.3, Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lcf_central import LCFCentralRR
+from repro.core.precalc import PrecalcScheduler, check_precalc_integrity
+from repro.types import NO_GRANT
+
+
+def fig7_setup() -> tuple[np.ndarray, np.ndarray]:
+    """Figure 7: a multicast connection precalculated from I3 to T1 and
+    T3; regular unicast requests compete for the remaining targets."""
+    requests = np.zeros((4, 4), dtype=bool)
+    requests[0, 0] = True  # I0 -> T0 (NRQ 1)
+    requests[1, [0, 2]] = True  # I1 -> T0, T2 (NRQ 2)
+    requests[2, [0, 2]] = True  # I2 -> T0, T2 (NRQ 2)
+    precalc = np.zeros((4, 4), dtype=bool)
+    precalc[3, 1] = precalc[3, 3] = True
+    return requests, precalc
+
+
+class TestIntegrityCheck:
+    def test_conflict_free_schedule_passes(self):
+        _, precalc = fig7_setup()
+        accepted, dropped = check_precalc_integrity(precalc)
+        assert (accepted == precalc).all()
+        assert dropped == []
+
+    def test_conflicting_target_keeps_lowest_initiator(self):
+        precalc = np.zeros((4, 4), dtype=bool)
+        precalc[1, 2] = precalc[3, 2] = True  # both claim T2
+        accepted, dropped = check_precalc_integrity(precalc)
+        assert accepted[1, 2] and not accepted[3, 2]
+        assert dropped == [(3, 2)]
+
+    def test_multiple_conflicts_all_reported(self):
+        precalc = np.ones((3, 3), dtype=bool)
+        accepted, dropped = check_precalc_integrity(precalc)
+        assert accepted.sum() == 3  # one winner per target
+        assert len(dropped) == 6
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            check_precalc_integrity(np.ones((2, 3), dtype=bool))
+
+
+class TestTwoStageScheduling:
+    def test_fig7_multicast_and_lcf_coexist(self):
+        requests, precalc = fig7_setup()
+        scheduler = PrecalcScheduler(4)
+        result = scheduler.schedule(requests, precalc)
+        assert result.integrity_ok
+        # Multicast: I3 drives both T1 and T3.
+        assert result.output_schedule[1] == 3
+        assert result.output_schedule[3] == 3
+        # Stage 2 LCF fills T0 and T2 from the unicast requests:
+        # RR offsets (0,0) -> position [I0,T0] wins T0.
+        assert result.output_schedule[0] == 0
+        assert result.output_schedule[2] in (1, 2)
+
+    def test_precalc_input_excluded_from_stage2(self):
+        requests = np.ones((3, 3), dtype=bool)
+        precalc = np.zeros((3, 3), dtype=bool)
+        precalc[0, 1] = True
+        result = PrecalcScheduler(3).schedule(requests, precalc)
+        # I0 transmits its precalculated packet; stage 2 must not grant it.
+        assert result.lcf_schedule[0] == NO_GRANT
+        assert result.output_schedule[1] == 0
+
+    def test_precalc_target_excluded_from_stage2(self):
+        requests = np.ones((3, 3), dtype=bool)
+        precalc = np.zeros((3, 3), dtype=bool)
+        precalc[2, 0] = True
+        result = PrecalcScheduler(3).schedule(requests, precalc)
+        assert result.output_schedule[0] == 2
+        assert (result.lcf_schedule != 0).all()
+
+    def test_no_precalc_reduces_to_plain_lcf(self):
+        requests = np.ones((4, 4), dtype=bool)
+        wrapped = PrecalcScheduler(4)
+        reference = LCFCentralRR(4)
+        result = wrapped.schedule(requests)
+        expected = reference.schedule(requests)
+        for i, j in enumerate(expected):
+            if j != NO_GRANT:
+                assert result.output_schedule[j] == i
+
+    def test_dropped_conflicting_pair_frees_input_for_lcf(self):
+        requests = np.zeros((3, 3), dtype=bool)
+        requests[2, 2] = True
+        precalc = np.zeros((3, 3), dtype=bool)
+        precalc[1, 0] = precalc[2, 0] = True  # I2 loses the conflict
+        result = PrecalcScheduler(3).schedule(requests, precalc)
+        assert not result.integrity_ok
+        assert result.dropped_precalc == [(2, 0)]
+        # I2's precalc was fully dropped, so its unicast request is live.
+        assert result.output_schedule[2] == 2
+
+    def test_connections_listing(self):
+        requests, precalc = fig7_setup()
+        result = PrecalcScheduler(4).schedule(requests, precalc)
+        connections = result.connections()
+        assert (3, 1) in connections and (3, 3) in connections
+        assert len(connections) == len(set(connections))
+
+    def test_wrapped_scheduler_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PrecalcScheduler(4, scheduler=LCFCentralRR(3))
+
+    def test_rr_state_advances_even_with_precalc(self):
+        scheduler = PrecalcScheduler(4)
+        inner = scheduler.scheduler
+        precalc = np.zeros((4, 4), dtype=bool)
+        precalc[0, 0] = True
+        scheduler.schedule(np.zeros((4, 4), dtype=bool), precalc)
+        assert inner.rr_offsets == (1, 0)

@@ -1,0 +1,72 @@
+"""Clint sub-slot timing: the paper's Section 1 / Table 2 numbers."""
+
+import pytest
+
+from repro.des.clint_timing import BulkChannelTiming, ClintTimingParams
+
+
+class TestPublishedNumbers:
+    def test_scheduling_time_is_1258_ns(self):
+        params = ClintTimingParams()
+        assert params.precalc_check_ns == 500
+        assert params.lcf_calc_ns == 758
+        assert params.scheduling_ns == 1258  # the paper's "1.3 us"
+
+    def test_scheduling_fits_the_slot_with_headroom(self):
+        model = BulkChannelTiming()
+        utilisation = model.scheduler_utilisation()
+        assert utilisation == pytest.approx(1258 / 8500, rel=1e-6)
+        assert utilisation < 0.16  # ~15% — the pipeline's slack
+
+    def test_slot_carries_a_2kb_packet(self):
+        params = ClintTimingParams()
+        assert params.bulk_packet_bits == pytest.approx(17000)  # ~2.1 kB
+
+    def test_max_reschedule_rate(self):
+        # If the slot shrank to the scheduling time alone, the switch
+        # could re-schedule at ~0.8 MHz.
+        model = BulkChannelTiming()
+        assert model.max_reschedule_rate_mhz() == pytest.approx(1000 / 1258, rel=1e-6)
+
+
+class TestEventChain:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return BulkChannelTiming().simulate(slots=5)
+
+    def test_cfg_before_precalc_before_schedule(self, records):
+        for record in records:
+            assert record.slot_start < record.cfg_received
+            assert record.cfg_received < record.precalc_done
+            assert record.precalc_done < record.schedule_done
+            assert record.schedule_done < record.gnt_delivered
+
+    def test_grant_well_before_slot_end(self, records):
+        params = ClintTimingParams()
+        for record in records:
+            assert record.gnt_delivered < record.slot_start + 0.25 * params.slot_ns
+
+    def test_transfer_occupies_the_following_slot(self, records):
+        params = ClintTimingParams()
+        for record in records[:-1]:
+            assert record.transfer_start == pytest.approx(
+                record.slot_start + params.slot_ns
+            )
+            assert record.transfer_end == pytest.approx(
+                record.transfer_start + params.slot_ns
+            )
+
+    def test_ack_arrives_after_transfer(self, records):
+        for record in records[:-1]:
+            assert record.ack_delivered > record.transfer_end - 1e-9
+
+    def test_scheduling_latency_constant_across_slots(self, records):
+        latencies = {round(r.scheduling_latency, 3) for r in records}
+        assert len(latencies) == 1
+
+    def test_pipeline_overlap(self, records):
+        """While slot k's packets are in transfer, slot k+1's schedule is
+        being computed — the Figure 5 overlap."""
+        first, second = records[0], records[1]
+        assert second.schedule_done < first.transfer_end
+        assert second.slot_start <= first.transfer_start

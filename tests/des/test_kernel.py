@@ -1,0 +1,100 @@
+"""Discrete-event kernel."""
+
+import pytest
+
+from repro.des.kernel import EventScheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        kernel = EventScheduler()
+        log = []
+        kernel.schedule_at(5.0, log.append, "b")
+        kernel.schedule_at(1.0, log.append, "a")
+        kernel.schedule_at(9.0, log.append, "c")
+        kernel.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_are_fifo(self):
+        kernel = EventScheduler()
+        log = []
+        for tag in ("first", "second", "third"):
+            kernel.schedule_at(3.0, log.append, tag)
+        kernel.run()
+        assert log == ["first", "second", "third"]
+
+    def test_now_advances_with_events(self):
+        kernel = EventScheduler()
+        seen = []
+        kernel.schedule_at(2.5, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [2.5]
+        assert kernel.now == 2.5
+
+    def test_schedule_after_is_relative(self):
+        kernel = EventScheduler(start_time=10.0)
+        seen = []
+        kernel.schedule_after(5.0, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [15.0]
+
+    def test_past_scheduling_rejected(self):
+        kernel = EventScheduler(start_time=10.0)
+        with pytest.raises(ValueError):
+            kernel.schedule_at(9.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_after(-1.0, lambda: None)
+
+
+class TestExecution:
+    def test_handlers_can_chain_events(self):
+        kernel = EventScheduler()
+        log = []
+
+        def ping():
+            log.append(kernel.now)
+            if kernel.now < 3:
+                kernel.schedule_after(1.0, ping)
+
+        kernel.schedule_at(0.0, ping)
+        kernel.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+    def test_same_time_chaining_runs_this_pass(self):
+        kernel = EventScheduler()
+        log = []
+        kernel.schedule_at(1.0, lambda: kernel.schedule_after(0.0, log.append, "x"))
+        kernel.run()
+        assert log == ["x"]
+
+    def test_run_until_leaves_future_events(self):
+        kernel = EventScheduler()
+        log = []
+        kernel.schedule_at(1.0, log.append, "early")
+        kernel.schedule_at(10.0, log.append, "late")
+        kernel.run_until(5.0)
+        assert log == ["early"]
+        assert kernel.now == 5.0
+        assert len(kernel) == 1
+
+    def test_max_events_bound(self):
+        kernel = EventScheduler()
+
+        def forever():
+            kernel.schedule_after(1.0, forever)
+
+        kernel.schedule_at(0.0, forever)
+        executed = kernel.run(max_events=50)
+        assert executed == 50
+
+    def test_step_on_empty_queue(self):
+        assert not EventScheduler().step()
+
+    def test_event_counter(self):
+        kernel = EventScheduler()
+        for t in range(5):
+            kernel.schedule_at(float(t), lambda: None)
+        kernel.run()
+        assert kernel.events_executed == 5

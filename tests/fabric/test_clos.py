@@ -1,0 +1,130 @@
+"""Clos network: non-blocking conditions and Slepian–Duguid routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lcf_central import LCFCentralRR
+from repro.fabric.clos import ClosNetwork, square_clos
+from repro.types import NO_GRANT
+
+
+def permutation_schedule(rng, n):
+    return rng.permutation(n).astype(np.int64)
+
+
+def partial_schedule(rng, n, density=0.6):
+    schedule = np.full(n, NO_GRANT, dtype=np.int64)
+    outputs = rng.permutation(n)
+    for i in range(n):
+        if rng.random() < density:
+            schedule[i] = outputs[i]
+    return schedule
+
+
+class TestStructure:
+    def test_port_count(self):
+        assert ClosNetwork(m=4, k=4, r=4).n_ports == 16
+
+    def test_crosspoint_formula(self):
+        net = ClosNetwork(m=3, k=3, r=4)
+        assert net.crosspoints == 2 * 4 * 3 * 3 + 3 * 16
+
+    def test_clos_beats_crossbar_for_large_n(self):
+        # The entire point of Clos (1953): fewer crosspoints than n^2.
+        net = square_clos(256)
+        assert net.n_ports == 256
+        assert net.crosspoints < 256 * 256
+
+    def test_nonblocking_conditions(self):
+        assert ClosNetwork(m=4, k=4, r=4).is_rearrangeably_nonblocking()
+        assert not ClosNetwork(m=3, k=4, r=4).is_rearrangeably_nonblocking()
+        assert ClosNetwork(m=7, k=4, r=4).is_strictly_nonblocking()
+        assert not ClosNetwork(m=6, k=4, r=4).is_strictly_nonblocking()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ClosNetwork(m=0, k=2, r=2)
+
+    def test_square_construction(self):
+        net = square_clos(16)
+        assert net.n_ports == 16
+        assert net.is_rearrangeably_nonblocking()
+
+
+class TestRouting:
+    def test_empty_schedule(self):
+        net = ClosNetwork(m=2, k=2, r=2)
+        routing = net.route(np.full(4, NO_GRANT, dtype=np.int64))
+        assert routing.assignments == ()
+
+    def test_identity_permutation(self):
+        net = ClosNetwork(m=3, k=3, r=3)
+        routing = net.route(np.arange(9, dtype=np.int64))
+        assert len(routing.assignments) == 9
+        assert net.validate_routing(routing)
+
+    def test_full_permutation_routes_when_rearrangeable(self):
+        rng = np.random.default_rng(0)
+        net = ClosNetwork(m=4, k=4, r=4)
+        for _ in range(20):
+            schedule = permutation_schedule(rng, net.n_ports)
+            routing = net.route(schedule)
+            assert len(routing.assignments) == net.n_ports
+            assert net.validate_routing(routing)
+
+    def test_partial_schedules_route(self):
+        rng = np.random.default_rng(1)
+        net = ClosNetwork(m=3, k=3, r=5)
+        for _ in range(20):
+            schedule = partial_schedule(rng, net.n_ports)
+            routing = net.route(schedule)
+            granted = int((schedule != NO_GRANT).sum())
+            assert len(routing.assignments) == granted
+            assert net.validate_routing(routing)
+
+    def test_thin_network_rejects_heavy_demand(self):
+        # m=1 but two connections share an ingress switch: impossible.
+        net = ClosNetwork(m=1, k=2, r=2)
+        schedule = np.array([0, 2, NO_GRANT, NO_GRANT], dtype=np.int64)
+        with pytest.raises(ValueError, match="middle switches"):
+            net.route(schedule)
+
+    def test_conflicting_schedule_rejected(self):
+        net = ClosNetwork(m=2, k=2, r=2)
+        with pytest.raises(ValueError, match="two inputs"):
+            net.route(np.array([0, 0, NO_GRANT, NO_GRANT], dtype=np.int64))
+
+    def test_middle_of_lookup(self):
+        net = ClosNetwork(m=2, k=2, r=2)
+        routing = net.route(np.array([1, NO_GRANT, NO_GRANT, NO_GRANT], dtype=np.int64))
+        assert routing.middle_of(0, 1) is not None
+        assert routing.middle_of(2, 3) is None
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_permutations_always_route_and_validate(self, seed):
+        rng = np.random.default_rng(seed)
+        net = ClosNetwork(m=3, k=3, r=4)
+        schedule = permutation_schedule(rng, net.n_ports)
+        routing = net.route(schedule)
+        assert net.validate_routing(routing)
+        # Every connection got a distinct middle per ingress and egress
+        # implicitly; also check the middle index range.
+        assert all(0 <= mid < net.m for _, _, mid in routing.assignments)
+
+
+class TestWithSchedulers:
+    def test_lcf_schedules_are_clos_routable(self):
+        """End-to-end: matchings from the paper's scheduler realised on
+        the paper's alternative fabric."""
+        rng = np.random.default_rng(2)
+        net = ClosNetwork(m=4, k=4, r=4)
+        scheduler = LCFCentralRR(net.n_ports)
+        for _ in range(30):
+            requests = rng.random((16, 16)) < 0.5
+            schedule = scheduler.schedule(requests)
+            routing = net.route(schedule)
+            assert net.validate_routing(routing)
+            assert len(routing.assignments) == int((schedule != NO_GRANT).sum())

@@ -1,0 +1,35 @@
+"""Crossbar fabric model."""
+
+import numpy as np
+import pytest
+
+from repro.fabric.crossbar import CrossbarFabric
+from repro.types import NO_GRANT
+
+
+class TestCrossbarFabric:
+    def test_crosspoint_cost_is_quadratic(self):
+        assert CrossbarFabric(16).crosspoints == 256
+
+    def test_nonblocking(self):
+        assert CrossbarFabric(4).is_nonblocking()
+
+    def test_configure_closes_granted_crosspoints(self):
+        fabric = CrossbarFabric(3)
+        state = fabric.configure(np.array([2, NO_GRANT, 0], dtype=np.int64))
+        assert state[0, 2] and state[2, 0]
+        assert state.sum() == 2
+
+    def test_conflicting_schedule_rejected(self):
+        fabric = CrossbarFabric(3)
+        with pytest.raises(ValueError, match="two inputs"):
+            fabric.configure(np.array([1, 1, NO_GRANT], dtype=np.int64))
+
+    def test_out_of_range_rejected(self):
+        fabric = CrossbarFabric(3)
+        with pytest.raises(ValueError):
+            fabric.configure(np.array([0, 1, 5], dtype=np.int64))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CrossbarFabric(3).configure(np.array([0, 1], dtype=np.int64))

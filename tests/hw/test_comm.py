@@ -1,0 +1,63 @@
+"""Section 6.2 communication-cost model."""
+
+import pytest
+
+from repro.hw.comm import (
+    central_bits,
+    central_messages,
+    comm_ratio,
+    comm_table,
+    distributed_bits,
+    distributed_messages,
+)
+
+
+class TestFormulas:
+    def test_central_formula_n16(self):
+        # n(n + log2 n + 1) = 16 * (16 + 4 + 1) = 336.
+        assert central_bits(16) == 336
+
+    def test_distributed_formula_n16_i4(self):
+        # i n^2 (2 log2 n + 3) = 4 * 256 * 11 = 11264.
+        assert distributed_bits(16, 4) == 11264
+
+    def test_message_breakdowns_match_figure10(self):
+        central = central_messages(16)
+        assert central["request"].bits == 16
+        assert central["grant"].fields == {"gnt": 4, "vld": 1}
+        dist = distributed_messages(16)
+        assert dist["request"].fields == {"req": 1, "nrq": 4}
+        assert dist["grant"].fields == {"gnt": 1, "ngt": 4}
+        assert dist["accept"].bits == 1
+
+    def test_totals_consistent_with_breakdowns(self):
+        n, i = 16, 4
+        central = central_messages(n)
+        per_port = central["request"].bits + central["grant"].bits
+        assert central_bits(n) == n * per_port
+        dist = distributed_messages(n)
+        per_pair = sum(m.bits for m in dist.values())
+        assert distributed_bits(n, i) == i * n * n * per_pair
+
+    def test_iterations_must_be_positive(self):
+        with pytest.raises(ValueError):
+            distributed_bits(16, 0)
+
+
+class TestComparison:
+    def test_distributed_always_costs_more(self):
+        for n in (4, 16, 64, 256):
+            assert comm_ratio(n, 1) > 1.0
+
+    def test_ratio_grows_with_iterations(self):
+        assert comm_ratio(16, 8) == pytest.approx(2 * comm_ratio(16, 4))
+
+    def test_comm_table_covers_requested_range(self):
+        rows = comm_table(port_counts=(4, 16), iterations=4)
+        assert [row["n"] for row in rows] == [4, 16]
+        assert rows[1]["distributed_bits"] == 11264
+
+    def test_distributed_scales_quadratically_with_log_factor(self):
+        # Doubling n roughly quadruples the distributed bits.
+        ratio = distributed_bits(32, 4) / distributed_bits(16, 4)
+        assert 3.5 < ratio < 5.0

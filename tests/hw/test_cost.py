@@ -1,0 +1,88 @@
+"""Table 1 cost model — the paper's numbers must reproduce exactly."""
+
+import pytest
+
+from repro.hw.cost import (
+    XCV600_FLIP_FLOPS,
+    central_gate_count,
+    central_register_count,
+    cost_report,
+    fpga_utilisation,
+    slice_gate_breakdown,
+    slice_gate_count,
+    slice_register_breakdown,
+    slice_register_count,
+    table1,
+)
+
+
+class TestTable1Exact:
+    """Table 1: distributed 16x450=7200 gates / 16x86=1376 registers,
+    central 767 gates / 216 registers, totals 7967 / 1592."""
+
+    def test_slice_gate_count(self):
+        assert slice_gate_count(16) == 450
+
+    def test_slice_register_count(self):
+        assert slice_register_count(16) == 86
+
+    def test_distributed_totals(self):
+        report = cost_report(16)
+        assert report.distributed_gates == 7200
+        assert report.distributed_registers == 1376
+
+    def test_central_counts(self):
+        report = cost_report(16)
+        assert report.central_gates == 767
+        assert report.central_registers == 216
+
+    def test_grand_totals(self):
+        report = cost_report(16)
+        assert report.total_gates == 7967
+        assert report.total_registers == 1592
+
+    def test_table1_rows_match_paper_layout(self):
+        rows = table1()
+        assert rows[0] == {
+            "count": "gates",
+            "distributed": 7200,
+            "central": 767,
+            "total": 7967,
+        }
+        assert rows[1] == {
+            "count": "registers",
+            "distributed": 1376,
+            "central": 216,
+            "total": 1592,
+        }
+
+
+class TestScaling:
+    def test_breakdowns_sum_to_totals(self):
+        for n in (4, 16, 64):
+            assert sum(slice_gate_breakdown(n).values()) == slice_gate_count(n)
+            assert sum(slice_register_breakdown(n).values()) == slice_register_count(n)
+
+    def test_slice_cost_grows_linearly(self):
+        # Datapath registers are n-bit wide: doubling n roughly doubles
+        # the slice register count.
+        small, large = slice_register_count(16), slice_register_count(32)
+        assert 1.7 < large / small < 2.1
+
+    def test_total_cost_grows_quadratically(self):
+        # n slices of O(n) size each.
+        small, large = cost_report(16), cost_report(32)
+        assert 3.0 < large.distributed_gates / small.distributed_gates < 4.5
+
+    def test_central_cost_grows_linearly(self):
+        small, large = central_gate_count(16), central_gate_count(32)
+        assert 1.5 < large / small < 2.2
+        assert central_register_count(32) < 2.2 * central_register_count(16)
+
+
+class TestUtilisation:
+    def test_matches_paper_fifteen_percent(self):
+        assert fpga_utilisation(16) == pytest.approx(0.15, abs=0.03)
+
+    def test_registers_fit_the_device(self):
+        assert cost_report(16).total_registers < XCV600_FLIP_FLOPS

@@ -1,0 +1,78 @@
+"""Unary encodings and the open-collector bus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.encoding import (
+    OpenCollectorBus,
+    unary_decode,
+    unary_decrement,
+    unary_encode,
+)
+
+
+class TestUnary:
+    def test_three_requests_pattern(self):
+        # The paper's example: three requests -> 0...0111.
+        assert unary_encode(3, 8).tolist() == [True] * 3 + [False] * 5
+
+    def test_zero_and_full(self):
+        assert not unary_encode(0, 4).any()
+        assert unary_encode(4, 4).all()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            unary_encode(5, 4)
+        with pytest.raises(ValueError):
+            unary_encode(-1, 4)
+
+    @given(st.integers(0, 16))
+    def test_roundtrip(self, value):
+        assert unary_decode(unary_encode(value, 16)) == value
+
+    def test_decode_rejects_corrupted_pattern(self):
+        with pytest.raises(ValueError):
+            unary_decode(np.array([True, False, True]))
+
+    @given(st.integers(1, 12))
+    def test_decrement_is_shift(self, value):
+        bits = unary_encode(value, 12)
+        assert unary_decode(unary_decrement(bits)) == value - 1
+
+    def test_decrement_of_zero_stays_zero(self):
+        assert not unary_decrement(unary_encode(0, 4)).any()
+
+
+class TestOpenCollectorBus:
+    def test_idle_bus_is_all_high(self):
+        bus = OpenCollectorBus(4)
+        assert bus.sample().all()
+        assert not bus.driven
+
+    def test_wired_and_resolves_minimum(self):
+        # The paper's example: 0...0111 and 0...0001 -> 0...0001.
+        bus = OpenCollectorBus(8)
+        bus.drive(unary_encode(3, 8))
+        bus.drive(unary_encode(1, 8))
+        assert unary_decode(bus.sample()) == 1
+
+    def test_release_restores_pullups(self):
+        bus = OpenCollectorBus(4)
+        bus.drive(unary_encode(1, 4))
+        bus.release()
+        assert bus.sample().all()
+
+    def test_width_mismatch_rejected(self):
+        bus = OpenCollectorBus(4)
+        with pytest.raises(ValueError):
+            bus.drive(unary_encode(1, 5))
+
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_minimum_always_wins(self, values):
+        bus = OpenCollectorBus(8)
+        for value in values:
+            bus.drive(unary_encode(value, 8))
+        assert unary_decode(bus.sample()) == min(values)

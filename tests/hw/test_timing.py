@@ -1,0 +1,56 @@
+"""Table 2 timing model and the Section 6.2 speed comparison."""
+
+import pytest
+
+from repro.hw.timing import (
+    central_time_steps,
+    cycles_check_precalc,
+    cycles_lcf,
+    cycles_to_ns,
+    cycles_total,
+    distributed_time_steps,
+    speedup_distributed_over_central,
+    table2,
+)
+
+
+class TestTable2Exact:
+    def test_decompositions_at_n16(self):
+        assert cycles_check_precalc(16) == 33
+        assert cycles_lcf(16) == 50
+        assert cycles_total(16) == 83
+
+    def test_times_at_66mhz(self):
+        assert cycles_to_ns(33) == 500
+        assert cycles_to_ns(50) == 758
+        assert cycles_to_ns(83) == 1258
+
+    def test_table2_rows(self):
+        rows = table2()
+        assert [(r.task, r.cycles, r.time_ns) for r in rows] == [
+            ("Check prec. schedule", 33, 500),
+            ("Calculate LCF schedule", 50, 758),
+            ("Total", 83, 1258),
+        ]
+
+    def test_decomposition_identity(self):
+        for n in (1, 4, 16, 64):
+            assert cycles_check_precalc(n) + cycles_lcf(n) == cycles_total(n)
+
+
+class TestSpeedComparison:
+    def test_central_is_linear(self):
+        assert central_time_steps(16) == 16
+        assert central_time_steps(1024) == 1024
+
+    def test_distributed_is_logarithmic(self):
+        assert distributed_time_steps(16) == 4
+        assert distributed_time_steps(1024) == 10
+
+    def test_explicit_iterations_override(self):
+        assert distributed_time_steps(16, iterations=4) == 4
+        assert distributed_time_steps(16, iterations=2) == 2
+
+    def test_speedup_grows_with_n(self):
+        assert speedup_distributed_over_central(16) == pytest.approx(4.0)
+        assert speedup_distributed_over_central(1024) > speedup_distributed_over_central(64)

@@ -1,0 +1,47 @@
+"""Clint system at the paper's full scale: 16 hosts, bulk + quick."""
+
+import pytest
+
+from repro.clint.network import ClintNetwork
+from repro.traffic.bernoulli import BernoulliUniform
+from repro.traffic.bursty import BurstyOnOff
+
+
+class TestFullScaleClint:
+    def test_sixteen_host_prototype(self):
+        """The paper's prototype: star topology, 16 hosts."""
+        net = ClintNetwork(16, seed=1)
+        stats = net.run(
+            1000,
+            bulk_traffic=BernoulliUniform(16, 0.5, seed=2),
+            quick_traffic=BernoulliUniform(16, 0.2, seed=3),
+        )
+        assert stats.bulk_delivered > 6000
+        assert stats.acks_delivered == stats.bulk_delivered
+        assert 2.0 <= stats.mean_bulk_latency < 10.0
+
+    def test_scheduled_bulk_channel_never_drops_in_fabric(self):
+        """The whole point of pre-scheduling: unlike the quick channel,
+        bulk packets cannot collide, so the only losses are VOQ
+        overflows at the hosts."""
+        net = ClintNetwork(16, seed=4)
+        stats = net.run(500, bulk_traffic=BernoulliUniform(16, 0.9, seed=5))
+        delivered_plus_queued = stats.bulk_delivered + net.backlog()
+        offered = sum(h.bulk_sent for h in net.hosts)  # granted transfers
+        assert stats.bulk_delivered == offered
+
+    def test_quick_channel_degrades_gracefully_under_load(self):
+        low = ClintNetwork(16, seed=6)
+        high = ClintNetwork(16, seed=6)
+        low.run(400, quick_traffic=BernoulliUniform(16, 0.1, seed=7))
+        high.run(400, quick_traffic=BernoulliUniform(16, 0.9, seed=7))
+        assert low.stats.quick_drop_rate < high.stats.quick_drop_rate
+        assert high.stats.quick_drop_rate < 0.6  # still mostly delivering
+
+    def test_bursty_bulk_traffic_is_lossless_end_to_end(self):
+        net = ClintNetwork(16, seed=8)
+        stats = net.run(800, bulk_traffic=BurstyOnOff(16, 0.4, seed=9, mean_burst=8))
+        assert stats.bulk_delivered > 0
+        assert stats.acks_delivered == stats.bulk_delivered
+        dropped = sum(h.bulk_dropped for h in net.hosts)
+        assert dropped == 0  # VOQs never overflowed at this load

@@ -1,0 +1,95 @@
+"""Cross-scheduler invariants: every scheduler, same workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.registry import available_schedulers, make_scheduler
+from repro.matching.hopcroft_karp import maximum_matching_size
+from repro.matching.verify import is_valid_schedule, matching_size
+
+from tests.conftest import request_matrices_of
+
+CROSSBAR_SCHEDULERS = tuple(n for n in available_schedulers() if n != "fifo")
+
+
+class TestUniversalInvariants:
+    @given(request_matrices_of(6))
+    @settings(max_examples=30, deadline=None)
+    def test_every_scheduler_is_valid_on_random_input(self, requests):
+        for name in CROSSBAR_SCHEDULERS:
+            scheduler = make_scheduler(name, 6)
+            schedule = scheduler.schedule(requests)
+            assert is_valid_schedule(requests, schedule), name
+
+    def test_statefulness_survives_many_cycles(self):
+        rng = np.random.default_rng(0)
+        schedulers = [make_scheduler(name, 5) for name in CROSSBAR_SCHEDULERS]
+        for _ in range(100):
+            requests = rng.random((5, 5)) < 0.5
+            for scheduler in schedulers:
+                assert is_valid_schedule(requests, scheduler.schedule(requests))
+
+
+class TestLCFAdvantage:
+    def test_lcf_matches_at_least_as_large_on_average(self):
+        """The design premise: least-choice-first matchings are larger on
+        average than round-robin / random ones."""
+        rng = np.random.default_rng(1)
+        n = 8
+        totals = {name: 0 for name in ("lcf_central", "islip", "pim", "wfront")}
+        schedulers = {name: make_scheduler(name, n) for name in totals}
+        for _ in range(300):
+            requests = rng.random((n, n)) < 0.4
+            for name, scheduler in schedulers.items():
+                totals[name] += matching_size(scheduler.schedule(requests))
+        assert totals["lcf_central"] >= totals["islip"]
+        assert totals["lcf_central"] >= totals["pim"]
+        assert totals["lcf_central"] >= totals["wfront"]
+
+    def test_lcf_close_to_maximum_matching(self):
+        """Central LCF should land within a few percent of the true
+        maximum on sparse random matrices."""
+        rng = np.random.default_rng(2)
+        n = 8
+        scheduler = make_scheduler("lcf_central", n)
+        achieved, optimal = 0, 0
+        for _ in range(200):
+            requests = rng.random((n, n)) < 0.3
+            achieved += matching_size(scheduler.schedule(requests))
+            optimal += maximum_matching_size(requests)
+        assert achieved / optimal > 0.97
+
+    def test_distributed_lcf_tracks_central(self):
+        rng = np.random.default_rng(3)
+        n = 8
+        central = make_scheduler("lcf_central", n)
+        distributed = make_scheduler("lcf_dist", n, iterations=4)
+        central_total, distributed_total = 0, 0
+        for _ in range(200):
+            requests = rng.random((n, n)) < 0.5
+            central_total += matching_size(central.schedule(requests))
+            distributed_total += matching_size(distributed.schedule(requests))
+        assert distributed_total >= 0.95 * central_total
+
+
+class TestSchedulersAreDistinct:
+    def test_no_two_schedulers_are_aliases(self):
+        """Sanity: over many cycles on a contended workload, every pair
+        of registry schedulers must disagree at least once — catching
+        registry typos that alias two names to one implementation."""
+        rng = np.random.default_rng(99)
+        # "ocf" is excluded: on a *boolean* matrix the weighted
+        # schedulers all degrade to the same unit-weight rule, so lqf
+        # and ocf legitimately coincide here (they differ only when the
+        # simulator feeds them occupancies / ages).
+        names = [n for n in CROSSBAR_SCHEDULERS if n not in ("greedy", "ocf")]
+        schedulers = {name: make_scheduler(name, 6) for name in names}
+        histories = {name: [] for name in names}
+        for _ in range(60):
+            requests = rng.random((6, 6)) < 0.6
+            for name, scheduler in schedulers.items():
+                histories[name].append(tuple(scheduler.schedule(requests).tolist()))
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                assert histories[a] != histories[b], (a, b)

@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts must keep running.
+
+Only the fast examples run in CI time (the Figure 12 sweep and the
+Clint cluster demo are minutes-long by design and are exercised through
+their underlying APIs elsewhere).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "starvation_demo.py",
+    "multicast_realtime.py",
+    "hw_cost_report.py",
+    "clos_fabric.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 7
+    for script in scripts:
+        source = script.read_text()
+        assert source.lstrip().startswith(('"""', "#!")), script.name
+        assert '"""' in source, f"{script.name} lacks a docstring"

@@ -1,0 +1,70 @@
+"""Mini Figure 12 reproduction — the paper's qualitative claims must
+hold even on a reduced grid (8 ports, short runs).
+
+The full-scale reproduction (16 ports, the complete load grid, long
+measurement windows) is ``benchmarks/bench_fig12.py`` /
+``examples/figure12_sweep.py``; this test keeps CI honest in seconds.
+"""
+
+import pytest
+
+from repro.analysis.sweep import SweepSpec, check_paper_shape, run_sweep
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    spec = SweepSpec(
+        schedulers=(
+            "lcf_central",
+            "lcf_central_rr",
+            "lcf_dist",
+            "lcf_dist_rr",
+            "pim",
+            "islip",
+            "wfront",
+            "fifo",
+            "outbuf",
+        ),
+        loads=(0.6, 0.9),
+        config=SimConfig(
+            n_ports=8,
+            voq_capacity=64,
+            pq_capacity=200,
+            warmup_slots=500,
+            measure_slots=4000,
+            seed=11,
+        ),
+    )
+    return run_sweep(spec)
+
+
+class TestPaperShape:
+    def test_all_section63_claims_hold(self, mini_sweep):
+        checks = check_paper_shape(mini_sweep)
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "\n".join(f"{c.claim}: {c.detail}" for c in failed)
+        assert len(checks) >= 8  # every claim was evaluated
+
+    def test_low_load_latencies_differ_little(self, mini_sweep):
+        """Paper: 'For low load, the latencies for the various schedulers
+        differ very little.'"""
+        spec = mini_sweep.spec
+        crossbar = [s for s in spec.schedulers if s != "fifo"]
+        at_low = [mini_sweep.get(s, 0.6).mean_latency for s in crossbar]
+        assert max(at_low) / min(at_low) < 1.6
+
+    def test_differences_grow_at_high_load(self, mini_sweep):
+        spec = mini_sweep.spec
+        crossbar = [s for s in spec.schedulers if s != "fifo"]
+        at_low = [mini_sweep.get(s, 0.6).mean_latency for s in crossbar]
+        at_high = [mini_sweep.get(s, 0.9).mean_latency for s in crossbar]
+        assert max(at_high) / min(at_high) > max(at_low) / min(at_low)
+
+    def test_all_crossbar_schedulers_carry_the_load(self, mini_sweep):
+        # At 0.6 load nothing except fifo should drop or saturate.
+        for name in mini_sweep.spec.schedulers:
+            if name == "fifo":
+                continue
+            result = mini_sweep.get(name, 0.6)
+            assert result.throughput == pytest.approx(0.6, abs=0.05), name

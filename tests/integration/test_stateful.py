@@ -1,0 +1,85 @@
+"""Stateful property tests: schedulers driven through arbitrary request
+sequences must keep their invariants at every step.
+
+This is the hypothesis state-machine analogue of soak testing the
+hardware: random workloads, interleaved resets, and continuous checking
+of validity, maximality (for the always-maximal schedulers), and
+round-robin state evolution.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.baselines.islip import ISLIP
+from repro.baselines.wavefront import WrappedWaveFront
+from repro.core.lcf_central import LCFCentral, LCFCentralRR
+from repro.core.lcf_dist import LCFDistributedRR
+from repro.matching.verify import is_maximal, is_valid_schedule
+
+N = 5
+
+
+class SchedulerSoak(RuleBasedStateMachine):
+    """Drive a stable of schedulers with a shared random workload."""
+
+    def __init__(self):
+        super().__init__()
+        self.schedulers = [
+            LCFCentral(N),
+            LCFCentralRR(N),
+            LCFDistributedRR(N, iterations=N),
+            ISLIP(N, iterations=N),
+            WrappedWaveFront(N),
+        ]
+        self.always_maximal = {
+            "lcf_central",
+            "lcf_central_rr",
+            "lcf_dist_rr",
+            "islip",
+            "wfront",
+        }
+        self.cycles = 0
+
+    @rule(bits=st.integers(0, 2 ** (N * N) - 1))
+    def schedule_random_matrix(self, bits):
+        requests = np.array(
+            [(bits >> k) & 1 for k in range(N * N)], dtype=bool
+        ).reshape(N, N)
+        for scheduler in self.schedulers:
+            schedule = scheduler.schedule(requests)
+            assert is_valid_schedule(requests, schedule), scheduler.name
+            if scheduler.name in self.always_maximal:
+                # With >= n iterations every iterative scheduler here
+                # converges, so maximality must hold for all of them.
+                assert is_maximal(requests, schedule), scheduler.name
+        self.cycles += 1
+
+    @rule()
+    def schedule_saturated(self):
+        requests = np.ones((N, N), dtype=bool)
+        for scheduler in self.schedulers:
+            schedule = scheduler.schedule(requests)
+            # A full matrix always admits a perfect matching and every
+            # scheduler here is maximal-converging: all ports matched.
+            assert (schedule >= 0).all(), scheduler.name
+        self.cycles += 1
+
+    @rule()
+    def reset_everything(self):
+        for scheduler in self.schedulers:
+            scheduler.reset()
+
+    @invariant()
+    def rr_offsets_in_range(self):
+        for scheduler in self.schedulers:
+            if isinstance(scheduler, (LCFCentral, LCFCentralRR)):
+                i, j = scheduler.rr_offsets
+                assert 0 <= i < N and 0 <= j < N
+
+
+SchedulerSoakTest = SchedulerSoak.TestCase
+SchedulerSoakTest.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None
+)

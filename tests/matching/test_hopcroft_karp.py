@@ -1,0 +1,97 @@
+"""Maximum-size matching, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+
+from repro.matching.hopcroft_karp import hopcroft_karp, maximum_matching_size
+from repro.matching.verify import is_valid_schedule, matching_size
+from repro.types import NO_GRANT
+
+from tests.conftest import request_matrices
+
+
+def networkx_max_matching_size(requests: np.ndarray) -> int:
+    """Reference: networkx's Hopcroft-Karp on the bipartite graph."""
+    n = requests.shape[0]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n), bipartite=0)
+    graph.add_nodes_from(range(n, 2 * n), bipartite=1)
+    for i, j in zip(*np.nonzero(requests)):
+        graph.add_edge(int(i), int(j) + n)
+    matching = nx.bipartite.maximum_matching(graph, top_nodes=range(n))
+    return len(matching) // 2
+
+
+class TestKnownCases:
+    def test_empty_matrix(self):
+        requests = np.zeros((4, 4), dtype=bool)
+        schedule = hopcroft_karp(requests)
+        assert (schedule == NO_GRANT).all()
+
+    def test_identity_matrix(self):
+        requests = np.eye(5, dtype=bool)
+        schedule = hopcroft_karp(requests)
+        assert (schedule == np.arange(5)).all()
+
+    def test_full_matrix_gives_perfect_matching(self):
+        requests = np.ones((6, 6), dtype=bool)
+        assert maximum_matching_size(requests) == 6
+
+    def test_single_column_contention(self):
+        # All inputs want output 0: only one can win.
+        requests = np.zeros((4, 4), dtype=bool)
+        requests[:, 0] = True
+        assert maximum_matching_size(requests) == 1
+
+    def test_augmenting_path_is_found(self):
+        # Greedy row-order matching would get 1; the maximum is 2.
+        requests = np.array(
+            [
+                [True, True],
+                [True, False],
+            ]
+        )
+        assert maximum_matching_size(requests) == 2
+
+    def test_fig3_matrix_has_perfect_matching(self):
+        requests = np.array(
+            [[0, 1, 1, 0], [1, 0, 1, 1], [1, 0, 1, 1], [0, 1, 0, 0]], dtype=bool
+        )
+        assert maximum_matching_size(requests) == 4
+
+    def test_long_augmenting_chain(self):
+        # A chain structure requiring multi-edge augmentation.
+        n = 6
+        requests = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            requests[i, i] = True
+            if i + 1 < n:
+                requests[i, i + 1] = True
+        assert maximum_matching_size(requests) == n
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(7)
+        requests = rng.random((8, 8)) < 0.3
+        first = hopcroft_karp(requests)
+        second = hopcroft_karp(requests)
+        assert (first == second).all()
+
+
+class TestAgainstNetworkx:
+    @given(request_matrices(max_n=7))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx_size(self, requests):
+        assert maximum_matching_size(requests) == networkx_max_matching_size(requests)
+
+    @given(request_matrices(max_n=7))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_is_valid(self, requests):
+        schedule = hopcroft_karp(requests)
+        assert is_valid_schedule(requests, schedule)
+
+    @given(request_matrices(max_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_size_consistent_with_schedule(self, requests):
+        schedule = hopcroft_karp(requests)
+        assert matching_size(schedule) == maximum_matching_size(requests)

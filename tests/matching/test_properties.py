@@ -1,0 +1,88 @@
+"""Structural matching properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.matching.hopcroft_karp import hopcroft_karp, maximum_matching_size
+from repro.matching.properties import (
+    choice_histogram,
+    deficiency,
+    greedy_matching_lower_bound,
+    hall_violator,
+    has_augmenting_path,
+    matching_efficiency,
+    request_degrees,
+)
+from repro.types import NO_GRANT
+
+from tests.conftest import request_matrices
+
+
+class TestEfficiency:
+    def test_maximum_matching_has_efficiency_one(self):
+        requests = np.ones((4, 4), dtype=bool)
+        assert matching_efficiency(requests, hopcroft_karp(requests)) == 1.0
+
+    def test_empty_requests_have_efficiency_one(self):
+        requests = np.zeros((3, 3), dtype=bool)
+        assert matching_efficiency(requests, np.full(3, NO_GRANT)) == 1.0
+
+    def test_half_matching(self):
+        requests = np.eye(4, dtype=bool)
+        schedule = np.array([0, 1, NO_GRANT, NO_GRANT], dtype=np.int64)
+        assert matching_efficiency(requests, schedule) == pytest.approx(0.5)
+
+
+class TestAugmentingPath:
+    def test_suboptimal_matching_has_augmenting_path(self):
+        requests = np.array([[True, True], [True, False]])
+        schedule = np.array([0, NO_GRANT], dtype=np.int64)
+        assert has_augmenting_path(requests, schedule)
+
+    def test_maximum_matching_has_no_augmenting_path(self):
+        requests = np.array([[True, True], [True, False]])
+        assert not has_augmenting_path(requests, hopcroft_karp(requests))
+
+
+class TestDeficiencyAndHall:
+    def test_perfectly_matchable_has_zero_deficiency(self):
+        assert deficiency(np.eye(4, dtype=bool)) == 0
+
+    def test_column_contention_creates_deficiency(self):
+        requests = np.zeros((3, 3), dtype=bool)
+        requests[:, 0] = True
+        assert deficiency(requests) == 2
+
+    def test_hall_violator_found_for_contention(self):
+        requests = np.zeros((3, 3), dtype=bool)
+        requests[0, 0] = requests[1, 0] = True
+        violator = hall_violator(requests)
+        assert violator == (0, 1)
+
+    def test_no_hall_violator_when_matchable(self):
+        assert hall_violator(np.eye(3, dtype=bool)) is None
+
+    @given(request_matrices(max_n=5))
+    @settings(max_examples=40, deadline=None)
+    def test_deficiency_positive_iff_hall_violated(self, requests):
+        assert (deficiency(requests) > 0) == (hall_violator(requests) is not None)
+
+
+class TestDegrees:
+    def test_request_degrees_matches_fig3_nrq(self):
+        requests = np.array(
+            [[0, 1, 1, 0], [1, 0, 1, 1], [1, 0, 1, 1], [0, 1, 0, 0]], dtype=bool
+        )
+        assert request_degrees(requests).tolist() == [2, 3, 3, 1]
+
+    def test_choice_histogram(self):
+        requests = np.array(
+            [[0, 1, 1, 0], [1, 0, 1, 1], [1, 0, 1, 1], [0, 1, 0, 0]], dtype=bool
+        )
+        assert choice_histogram(requests) == {1: 1, 2: 1, 3: 2}
+
+    @given(request_matrices(max_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_lower_bound_holds_for_maximum(self, requests):
+        assert maximum_matching_size(requests) >= greedy_matching_lower_bound(requests)

@@ -1,0 +1,105 @@
+"""Schedule validity / maximality checkers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.matching.verify import (
+    is_conflict_free,
+    is_maximal,
+    is_valid_schedule,
+    matching_size,
+    output_view,
+    schedule_to_matrix,
+    schedule_to_pairs,
+)
+from repro.types import NO_GRANT
+
+from tests.conftest import request_matrices
+
+
+def _sched(*values):
+    return np.array(values, dtype=np.int64)
+
+
+class TestConflictFree:
+    def test_empty_schedule_is_conflict_free(self):
+        assert is_conflict_free(_sched(-1, -1, -1))
+
+    def test_distinct_grants_are_conflict_free(self):
+        assert is_conflict_free(_sched(2, 0, 1))
+
+    def test_duplicate_output_is_conflict(self):
+        assert not is_conflict_free(_sched(1, 1, -1))
+
+    def test_no_grants_mixed_with_grants(self):
+        assert is_conflict_free(_sched(-1, 3, -1, 0))
+
+
+class TestValidSchedule:
+    def test_valid_grant(self):
+        requests = np.array([[True, False], [False, True]])
+        assert is_valid_schedule(requests, _sched(0, 1))
+
+    def test_grant_without_request_is_invalid(self):
+        requests = np.array([[True, False], [False, True]])
+        assert not is_valid_schedule(requests, _sched(1, -1))
+
+    def test_out_of_range_grant_is_invalid(self):
+        requests = np.ones((2, 2), dtype=bool)
+        assert not is_valid_schedule(requests, _sched(0, 5))
+
+    def test_wrong_shape_is_invalid(self):
+        requests = np.ones((3, 3), dtype=bool)
+        assert not is_valid_schedule(requests, _sched(0, 1))
+
+    def test_conflicting_schedule_is_invalid(self):
+        requests = np.ones((2, 2), dtype=bool)
+        assert not is_valid_schedule(requests, _sched(0, 0))
+
+
+class TestMaximal:
+    def test_full_matching_is_maximal(self):
+        requests = np.ones((3, 3), dtype=bool)
+        assert is_maximal(requests, _sched(0, 1, 2))
+
+    def test_augmentable_single_edge_is_not_maximal(self):
+        requests = np.array([[True, False], [False, True]])
+        assert not is_maximal(requests, _sched(0, -1))
+
+    def test_empty_requests_are_trivially_maximal(self):
+        requests = np.zeros((3, 3), dtype=bool)
+        assert is_maximal(requests, _sched(-1, -1, -1))
+
+    def test_blocked_input_does_not_break_maximality(self):
+        # Input 1 requests only output 0, which is taken: maximal.
+        requests = np.array([[True, False], [True, False]])
+        assert is_maximal(requests, _sched(0, -1))
+
+
+class TestConversions:
+    def test_matching_size_counts_grants(self):
+        assert matching_size(_sched(1, -1, 0)) == 2
+
+    def test_schedule_to_pairs(self):
+        assert schedule_to_pairs(_sched(2, -1, 0)) == [(0, 2), (2, 0)]
+
+    def test_schedule_to_matrix_roundtrip(self):
+        schedule = _sched(1, -1, 2)
+        matrix = schedule_to_matrix(schedule)
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 1] and matrix[2, 2]
+        assert matrix.sum() == 2
+
+    def test_output_view_inverts_schedule(self):
+        schedule = _sched(1, -1, 0)
+        out = output_view(schedule)
+        assert out[1] == 0 and out[0] == 2 and out[2] == NO_GRANT
+
+    @given(request_matrices())
+    def test_full_identity_schedule_valid_iff_diagonal_requested(self, requests):
+        n = requests.shape[0]
+        schedule = np.arange(n, dtype=np.int64)
+        assert is_valid_schedule(requests, schedule) == bool(
+            np.diag(requests).all()
+        )

@@ -1,0 +1,45 @@
+"""Simulation configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import PAPER_CONFIG, SimConfig
+
+
+class TestSimConfig:
+    def test_paper_defaults(self):
+        assert PAPER_CONFIG.n_ports == 16
+        assert PAPER_CONFIG.voq_capacity == 256
+        assert PAPER_CONFIG.pq_capacity == 1000
+        assert PAPER_CONFIG.outbuf_capacity == 256
+        assert PAPER_CONFIG.iterations == 4
+
+    def test_total_slots(self):
+        config = SimConfig(warmup_slots=100, measure_slots=400)
+        assert config.total_slots == 500
+
+    def test_with_replaces_fields(self):
+        config = SimConfig().with_(n_ports=8, seed=9)
+        assert config.n_ports == 8 and config.seed == 9
+        assert config.voq_capacity == 256  # untouched
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SimConfig().n_ports = 4
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_ports", 0),
+            ("voq_capacity", 0),
+            ("pq_capacity", 0),
+            ("outbuf_capacity", -1),
+            ("iterations", 0),
+            ("measure_slots", 0),
+            ("warmup_slots", -1),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SimConfig(**{field: value})

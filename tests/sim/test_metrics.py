@@ -1,0 +1,108 @@
+"""Statistics primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    OnlineStats,
+    ServiceMatrix,
+    jain_index,
+    latency_percentiles,
+)
+
+
+class TestOnlineStats:
+    def test_empty_stats_are_nan(self):
+        stats = OnlineStats()
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.variance)
+
+    def test_matches_numpy_on_samples(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(5, 2, size=500)
+        stats = OnlineStats()
+        for value in samples:
+            stats.add(value)
+        assert stats.mean == pytest.approx(samples.mean())
+        assert stats.variance == pytest.approx(samples.var(ddof=1))
+        assert stats.min == samples.min() and stats.max == samples.max()
+
+    def test_single_sample(self):
+        stats = OnlineStats()
+        stats.add(3.0)
+        assert stats.mean == 3.0
+        assert math.isnan(stats.variance)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_concatenation(self, left, right):
+        a, b, c = OnlineStats(), OnlineStats(), OnlineStats()
+        for v in left:
+            a.add(v)
+            c.add(v)
+        for v in right:
+            b.add(v)
+            c.add(v)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        if merged.count:
+            assert merged.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+        if merged.count > 1:
+            assert merged.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-6)
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_index(np.array([5, 5, 5, 5])) == pytest.approx(1.0)
+
+    def test_single_user_hogging_is_one_over_k(self):
+        assert jain_index(np.array([1, 0, 0, 0])) == pytest.approx(0.25)
+
+    def test_empty_and_zero_are_one(self):
+        assert jain_index(np.array([])) == 1.0
+        assert jain_index(np.zeros(4)) == 1.0
+
+    def test_monotone_in_imbalance(self):
+        balanced = jain_index(np.array([4, 4, 4, 4]))
+        skewed = jain_index(np.array([7, 4, 3, 2]))
+        assert skewed < balanced
+
+
+class TestServiceMatrix:
+    def test_records_grants(self):
+        service = ServiceMatrix(3)
+        service.record(np.array([1, -1, 0]))
+        service.record(np.array([1, -1, -1]))
+        assert service.counts[0, 1] == 2
+        assert service.counts[2, 0] == 1
+        assert service.slots == 2
+
+    def test_rates(self):
+        service = ServiceMatrix(2)
+        service.record(np.array([0, 1]))
+        service.record(np.array([0, -1]))
+        assert service.rates()[0, 0] == pytest.approx(1.0)
+        assert service.rates()[1, 1] == pytest.approx(0.5)
+
+    def test_min_pair_rate_with_mask(self):
+        service = ServiceMatrix(2)
+        service.record(np.array([0, -1]))
+        active = np.array([[True, False], [False, False]])
+        assert service.min_pair_rate(active) == pytest.approx(1.0)
+
+
+class TestPercentiles:
+    def test_empty_gives_nans(self):
+        result = latency_percentiles(np.array([]))
+        assert all(math.isnan(v) for v in result.values())
+
+    def test_median_of_known_samples(self):
+        result = latency_percentiles(np.arange(1, 102))
+        assert result[50.0] == pytest.approx(51.0)

@@ -1,0 +1,32 @@
+"""Packet object."""
+
+import pytest
+
+from repro.sim.packet import Packet
+
+
+class TestPacket:
+    def test_latency_includes_transmission_slot(self):
+        packet = Packet(src=0, dst=1, t_generated=10)
+        packet.depart(10)
+        assert packet.latency == 1
+
+    def test_latency_counts_waiting(self):
+        packet = Packet(src=0, dst=1, t_generated=10)
+        packet.depart(14)
+        assert packet.latency == 5
+
+    def test_latency_before_departure_raises(self):
+        packet = Packet(src=0, dst=1, t_generated=10)
+        with pytest.raises(ValueError):
+            _ = packet.latency
+
+    def test_departure_before_generation_rejected(self):
+        packet = Packet(src=0, dst=1, t_generated=10)
+        with pytest.raises(ValueError):
+            packet.depart(9)
+
+    def test_uids_are_unique(self):
+        a = Packet(src=0, dst=0, t_generated=0)
+        b = Packet(src=0, dst=0, t_generated=0)
+        assert a.uid != b.uid

@@ -1,0 +1,112 @@
+"""Pipelined-scheduler switch: the Section 1 pipelining claim."""
+
+import numpy as np
+import pytest
+
+from repro.core.lcf_central import LCFCentralRR
+from repro.sim.config import SimConfig
+from repro.sim.pipelined import PipelinedSwitch
+from repro.traffic.base import NO_ARRIVAL
+from repro.traffic.bernoulli import BernoulliUniform
+
+
+def make_switch(depth, **kw):
+    defaults = dict(n_ports=4, voq_capacity=32, pq_capacity=64,
+                    warmup_slots=0, measure_slots=100)
+    defaults.update(kw)
+    config = SimConfig(**defaults)
+    return PipelinedSwitch(config, LCFCentralRR(config.n_ports), depth)
+
+
+def no_arrivals(n=4):
+    return np.full(n, NO_ARRIVAL, dtype=np.int64)
+
+
+def run_loaded(depth, load, slots=3000, n=8):
+    config = SimConfig(n_ports=n, voq_capacity=64, pq_capacity=200,
+                       warmup_slots=500, measure_slots=slots)
+    switch = PipelinedSwitch(config, LCFCentralRR(n), depth)
+    pattern = BernoulliUniform(n, load, seed=5)
+    for slot in range(config.total_slots):
+        if slot == config.warmup_slots:
+            switch.measuring = True
+        switch.step(slot, pattern.arrivals())
+    return switch
+
+
+class TestPipelineMechanics:
+    def test_depth_zero_forwards_same_slot(self):
+        switch = make_switch(0)
+        switch.measuring = True
+        arrivals = no_arrivals()
+        arrivals[0] = 1
+        switch.step(0, arrivals)
+        assert switch.forwarded == 1
+        assert switch.latency.mean == 1.0
+
+    def test_depth_d_delays_first_departure(self):
+        for depth in (1, 2, 3):
+            switch = make_switch(depth)
+            switch.measuring = True
+            arrivals = no_arrivals()
+            arrivals[0] = 1
+            switch.step(0, arrivals)
+            for slot in range(1, depth):
+                switch.step(slot, no_arrivals())
+                assert switch.forwarded == 0
+            switch.step(depth, no_arrivals())
+            assert switch.forwarded == 1
+            assert switch.latency.mean == depth + 1
+
+    def test_no_double_grant_of_in_flight_packet(self):
+        # One packet, depth 2: the slot-1 schedule must not grant it again.
+        switch = make_switch(2)
+        switch.measuring = True
+        arrivals = no_arrivals()
+        arrivals[0] = 1
+        switch.step(0, arrivals)
+        for slot in range(1, 6):
+            switch.step(slot, no_arrivals())
+        assert switch.forwarded == 1  # exactly once
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            make_switch(-1)
+
+    def test_conservation_through_pipeline(self):
+        rng = np.random.default_rng(6)
+        switch = make_switch(3, measure_slots=300)
+        switch.measuring = True
+        for slot in range(300):
+            active = rng.random(4) < 0.7
+            dst = rng.integers(0, 4, size=4)
+            switch.step(slot, np.where(active, dst, NO_ARRIVAL))
+        in_flight = int(switch._reserved.sum())
+        assert switch.offered == (
+            switch.forwarded + switch.total_queued() + switch.dropped
+        )
+        assert in_flight <= 3 * 4  # at most depth x n grants in flight
+
+
+class TestPaperClaim:
+    """'These techniques do not reduce latency and the scheduling latency
+    adds to the overall switch forwarding latency' — while throughput is
+    unaffected."""
+
+    def test_throughput_is_depth_independent(self):
+        shallow = run_loaded(0, load=0.8)
+        deep = run_loaded(3, load=0.8)
+        assert shallow.forwarded == pytest.approx(deep.forwarded, rel=0.05)
+
+    def test_latency_grows_by_exactly_the_depth_at_low_load(self):
+        # At light load queueing is negligible; the pipeline depth is the
+        # whole story.
+        base = run_loaded(0, load=0.1).latency.mean
+        for depth in (1, 3):
+            delayed = run_loaded(depth, load=0.1).latency.mean
+            assert delayed == pytest.approx(base + depth, abs=0.15)
+
+    def test_latency_penalty_persists_at_high_load(self):
+        base = run_loaded(0, load=0.9).latency.mean
+        deep = run_loaded(2, load=0.9).latency.mean
+        assert deep > base

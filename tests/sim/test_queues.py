@@ -1,0 +1,116 @@
+"""Queue structures: PQ, VOQ set, output queue."""
+
+import pytest
+
+from repro.sim.queues import OutputQueue, PacketQueue, VOQSet
+
+
+class TestPacketQueue:
+    def test_fifo_order(self):
+        pq = PacketQueue(10)
+        pq.push(3, 100)
+        pq.push(1, 101)
+        assert pq.pop() == (3, 100)
+        assert pq.pop() == (1, 101)
+
+    def test_capacity_enforced_with_drop_count(self):
+        pq = PacketQueue(2)
+        assert pq.push(0, 0) and pq.push(0, 1)
+        assert not pq.push(0, 2)
+        assert pq.dropped == 1
+        assert len(pq) == 2
+
+    def test_head_peeks_without_removal(self):
+        pq = PacketQueue(4)
+        pq.push(5, 7)
+        assert pq.head() == (5, 7)
+        assert len(pq) == 1
+
+    def test_head_of_empty_is_none(self):
+        assert PacketQueue(4).head() is None
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PacketQueue(0)
+
+
+class TestVOQSet:
+    def test_occupancy_tracks_pushes_and_pops(self):
+        voqs = VOQSet(3, 4)
+        voqs.push(1, 2, 100)
+        voqs.push(1, 2, 101)
+        assert voqs.occupancy[1, 2] == 2
+        assert voqs.pop(1, 2) == 100
+        assert voqs.occupancy[1, 2] == 1
+
+    def test_request_matrix_reflects_nonempty_queues(self):
+        voqs = VOQSet(3, 4)
+        voqs.push(0, 2, 1)
+        matrix = voqs.request_matrix()
+        assert matrix[0, 2]
+        assert matrix.sum() == 1
+
+    def test_capacity_enforced(self):
+        voqs = VOQSet(2, 1)
+        voqs.push(0, 0, 1)
+        assert not voqs.has_space(0, 0)
+        with pytest.raises(OverflowError):
+            voqs.push(0, 0, 2)
+
+    def test_per_voq_fifo_order(self):
+        voqs = VOQSet(2, 8)
+        for t in (5, 6, 7):
+            voqs.push(1, 0, t)
+        assert [voqs.pop(1, 0) for _ in range(3)] == [5, 6, 7]
+
+    def test_total_queued(self):
+        voqs = VOQSet(2, 8)
+        voqs.push(0, 0, 1)
+        voqs.push(1, 1, 2)
+        assert voqs.total_queued() == 2
+
+    def test_queues_are_independent(self):
+        voqs = VOQSet(2, 8)
+        voqs.push(0, 0, 1)
+        voqs.push(0, 1, 2)
+        assert voqs.pop(0, 1) == 2
+        assert voqs.occupancy[0, 0] == 1
+
+
+class TestOutputQueue:
+    def test_serves_in_order(self):
+        queue = OutputQueue(4)
+        queue.push(10)
+        queue.push(11)
+        assert queue.pop() == 10
+
+    def test_pop_empty_returns_none(self):
+        assert OutputQueue(4).pop() is None
+
+    def test_overflow_counted(self):
+        queue = OutputQueue(1)
+        assert queue.push(1)
+        assert not queue.push(2)
+        assert queue.dropped == 1
+
+
+class TestHeadTimestamps:
+    def test_reports_head_generation_times(self):
+        voqs = VOQSet(3, 4)
+        voqs.push(0, 1, 7)
+        voqs.push(0, 1, 9)  # behind the head
+        voqs.push(2, 0, 3)
+        heads = voqs.head_timestamps()
+        assert heads[0, 1] == 7
+        assert heads[2, 0] == 3
+
+    def test_empty_queues_report_minus_one(self):
+        heads = VOQSet(2, 4).head_timestamps()
+        assert (heads == -1).all()
+
+    def test_head_advances_after_pop(self):
+        voqs = VOQSet(2, 4)
+        voqs.push(1, 1, 5)
+        voqs.push(1, 1, 6)
+        voqs.pop(1, 1)
+        assert voqs.head_timestamps()[1, 1] == 6

@@ -1,0 +1,104 @@
+"""End-to-end simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.simulator import build_switch, run_simulation
+from repro.sim.crossbar import InputQueuedSwitch
+from repro.sim.fifo_switch import FIFOSwitch
+from repro.sim.outbuf import OutputBufferedSwitch
+from repro.traffic.trace import TraceReplay
+
+
+def quick_config(**kw):
+    defaults = dict(n_ports=4, warmup_slots=100, measure_slots=1000,
+                    voq_capacity=32, pq_capacity=64, seed=7)
+    defaults.update(kw)
+    return SimConfig(**defaults)
+
+
+class TestBuildSwitch:
+    def test_outbuf_gets_dedicated_model(self):
+        assert isinstance(build_switch(quick_config(), "outbuf"), OutputBufferedSwitch)
+
+    def test_fifo_gets_dedicated_model(self):
+        assert isinstance(build_switch(quick_config(), "fifo"), FIFOSwitch)
+
+    def test_crossbar_for_everything_else(self):
+        switch = build_switch(quick_config(), "lcf_central")
+        assert isinstance(switch, InputQueuedSwitch)
+        assert switch.scheduler.name == "lcf_central"
+
+    def test_iterations_flow_from_config(self):
+        switch = build_switch(quick_config(iterations=2), "pim")
+        assert switch.scheduler.iterations == 2
+
+
+class TestRunSimulation:
+    def test_throughput_matches_load_when_stable(self):
+        result = run_simulation(quick_config(), "lcf_central", load=0.5)
+        assert result.throughput == pytest.approx(0.5, abs=0.05)
+        assert result.dropped == 0
+
+    def test_latency_at_low_load_is_near_minimum(self):
+        result = run_simulation(quick_config(), "lcf_central", load=0.05)
+        assert 1.0 <= result.mean_latency < 1.5
+
+    def test_deterministic_given_seed(self):
+        first = run_simulation(quick_config(), "islip", load=0.7)
+        second = run_simulation(quick_config(), "islip", load=0.7)
+        assert first.mean_latency == second.mean_latency
+        assert first.forwarded == second.forwarded
+
+    def test_different_seed_changes_result(self):
+        first = run_simulation(quick_config(seed=1), "islip", load=0.7)
+        second = run_simulation(quick_config(seed=2), "islip", load=0.7)
+        assert first.mean_latency != second.mean_latency
+
+    def test_percentile_collection(self):
+        result = run_simulation(
+            quick_config(), "lcf_central", load=0.6, collect_percentiles=True
+        )
+        assert 50.0 in result.percentiles
+        assert result.percentiles[50.0] <= result.percentiles[99.0]
+
+    def test_service_collection(self):
+        result = run_simulation(
+            quick_config(), "lcf_central", load=0.6, collect_service=True
+        )
+        assert result.service_counts is not None
+        assert result.service_counts.sum() == result.forwarded
+
+    def test_custom_traffic_pattern_object(self):
+        trace = np.full((50, 4), -1, dtype=np.int64)
+        trace[:, 0] = 1  # input 0 sends to output 1 every slot
+        result = run_simulation(
+            quick_config(warmup_slots=0, measure_slots=50),
+            "lcf_central",
+            load=1.0,
+            traffic=TraceReplay(trace),
+        )
+        assert result.forwarded == 50
+        assert result.mean_latency == 1.0
+
+    def test_relative_to(self):
+        config = quick_config()
+        crossbar = run_simulation(config, "lcf_central", load=0.8)
+        reference = run_simulation(config, "outbuf", load=0.8)
+        ratio = crossbar.relative_to(reference)
+        assert ratio >= 1.0  # input queueing can't beat output queueing
+
+    def test_row_serialisation(self):
+        result = run_simulation(quick_config(), "pim", load=0.3)
+        row = result.row()
+        assert row["scheduler"] == "pim"
+        assert row["load"] == 0.3
+        assert isinstance(row["mean_latency"], float)
+
+    def test_loss_rate(self):
+        # Saturate a tiny-buffered FIFO switch to force drops.
+        config = quick_config(voq_capacity=4, pq_capacity=4,
+                              warmup_slots=0, measure_slots=500)
+        result = run_simulation(config, "fifo", load=1.0)
+        assert result.loss_rate > 0

@@ -1,0 +1,40 @@
+"""Shared types and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.types import NO_GRANT, as_request_matrix, empty_schedule
+
+
+class TestEmptySchedule:
+    def test_all_no_grant(self):
+        schedule = empty_schedule(5)
+        assert schedule.shape == (5,)
+        assert (schedule == NO_GRANT).all()
+        assert schedule.dtype == np.int64
+
+    def test_independent_instances(self):
+        a, b = empty_schedule(3), empty_schedule(3)
+        a[0] = 1
+        assert b[0] == NO_GRANT
+
+
+class TestAsRequestMatrix:
+    def test_bool_passthrough(self):
+        matrix = np.eye(3, dtype=bool)
+        out = as_request_matrix(matrix)
+        assert out.dtype == np.bool_
+        assert (out == matrix).all()
+
+    def test_int_coercion(self):
+        out = as_request_matrix([[1, 0], [2, 0]])
+        assert out.dtype == np.bool_
+        assert out[1, 0]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            as_request_matrix(np.ones((2, 3)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            as_request_matrix(np.ones(4))

@@ -1,0 +1,56 @@
+"""Uniform Bernoulli traffic."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.base import NO_ARRIVAL
+from repro.traffic.bernoulli import BernoulliUniform
+
+
+class TestBernoulli:
+    def test_load_zero_generates_nothing(self):
+        pattern = BernoulliUniform(4, 0.0, seed=1)
+        for _ in range(20):
+            assert (pattern.arrivals() == NO_ARRIVAL).all()
+
+    def test_load_one_generates_every_slot(self):
+        pattern = BernoulliUniform(4, 1.0, seed=1)
+        for _ in range(20):
+            assert (pattern.arrivals() != NO_ARRIVAL).all()
+
+    def test_empirical_rate_matches_load(self):
+        pattern = BernoulliUniform(8, 0.4, seed=2)
+        hits = sum((pattern.arrivals() != NO_ARRIVAL).sum() for _ in range(4000))
+        rate = hits / (8 * 4000)
+        assert rate == pytest.approx(0.4, abs=0.02)
+
+    def test_destinations_roughly_uniform(self):
+        pattern = BernoulliUniform(4, 1.0, seed=3)
+        counts = np.zeros(4)
+        for _ in range(4000):
+            for dst in pattern.arrivals():
+                counts[dst] += 1
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_reset_reproduces_stream(self):
+        pattern = BernoulliUniform(4, 0.5, seed=4)
+        first = [pattern.arrivals().tolist() for _ in range(10)]
+        pattern.reset()
+        second = [pattern.arrivals().tolist() for _ in range(10)]
+        assert first == second
+
+    def test_rate_matrix_closed_form(self):
+        pattern = BernoulliUniform(4, 0.8, seed=5)
+        assert pattern.rate_matrix() == pytest.approx(np.full((4, 4), 0.2))
+
+    def test_no_self_traffic_mode(self):
+        pattern = BernoulliUniform(4, 1.0, seed=6, self_traffic=False)
+        for _ in range(50):
+            dst = pattern.arrivals()
+            assert all(dst[i] != i for i in range(4))
+        rate = pattern.rate_matrix()
+        assert np.diag(rate).sum() == 0
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliUniform(4, 1.5)

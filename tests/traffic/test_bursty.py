@@ -1,0 +1,86 @@
+"""Bursty on/off traffic."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.base import NO_ARRIVAL
+from repro.traffic.bursty import BurstyOnOff
+
+
+def burst_lengths(pattern, slots, port=0):
+    """Observed on-period lengths for one input."""
+    lengths = []
+    current = 0
+    for _ in range(slots):
+        active = pattern.arrivals()[port] != NO_ARRIVAL
+        if active:
+            current += 1
+        elif current:
+            lengths.append(current)
+            current = 0
+    return lengths
+
+
+class TestBursty:
+    def test_long_run_load(self):
+        pattern = BurstyOnOff(4, 0.5, seed=1, mean_burst=8)
+        hits = sum((pattern.arrivals() != NO_ARRIVAL).sum() for _ in range(20000))
+        assert hits / (4 * 20000) == pytest.approx(0.5, abs=0.03)
+
+    def test_mean_burst_length(self):
+        pattern = BurstyOnOff(1, 0.3, seed=2, mean_burst=10)
+        lengths = burst_lengths(pattern, 50000)
+        assert np.mean(lengths) == pytest.approx(10, rel=0.15)
+
+    def test_destination_fixed_within_burst(self):
+        pattern = BurstyOnOff(1, 0.5, seed=3, mean_burst=16)
+        previous = None
+        changes_within_burst = 0
+        for _ in range(5000):
+            dst = pattern.arrivals()[0]
+            if dst != NO_ARRIVAL and previous not in (None, NO_ARRIVAL):
+                if dst != previous:
+                    changes_within_burst += 1
+            previous = dst
+        assert changes_within_burst == 0
+
+    def test_load_one_always_on(self):
+        pattern = BurstyOnOff(4, 1.0, seed=4, mean_burst=4)
+        pattern.arrivals()  # first slot turns sources on
+        for _ in range(30):
+            assert (pattern.arrivals() != NO_ARRIVAL).all()
+
+    def test_load_zero_always_off(self):
+        pattern = BurstyOnOff(4, 0.0, seed=5, mean_burst=4)
+        for _ in range(30):
+            assert (pattern.arrivals() == NO_ARRIVAL).all()
+
+    def test_reset_reproduces(self):
+        pattern = BurstyOnOff(4, 0.4, seed=6, mean_burst=8)
+        first = [pattern.arrivals().tolist() for _ in range(30)]
+        pattern.reset()
+        assert [pattern.arrivals().tolist() for _ in range(30)] == first
+
+    def test_rejects_sub_one_burst(self):
+        with pytest.raises(ValueError):
+            BurstyOnOff(4, 0.5, mean_burst=0.5)
+
+    def test_burstier_than_bernoulli(self):
+        """Arrivals are positively correlated: the variance of per-window
+        counts must exceed the Bernoulli variance at the same load."""
+        from repro.traffic.bernoulli import BernoulliUniform
+
+        window = 20
+
+        def window_counts(pattern):
+            counts = []
+            for _ in range(800):
+                count = 0
+                for _ in range(window):
+                    count += int(pattern.arrivals()[0] != NO_ARRIVAL)
+                counts.append(count)
+            return np.var(counts)
+
+        bursty_var = window_counts(BurstyOnOff(1, 0.5, seed=7, mean_burst=16))
+        bernoulli_var = window_counts(BernoulliUniform(1, 0.5, seed=7))
+        assert bursty_var > 2 * bernoulli_var

@@ -1,0 +1,100 @@
+"""Nonuniform traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.base import NO_ARRIVAL
+from repro.traffic.nonuniform import Diagonal, Hotspot, LogDiagonal, Permutation
+
+
+class TestHotspot:
+    def test_fraction_one_is_single_destination(self):
+        pattern = Hotspot(4, 1.0, seed=1, hotspot=2, fraction=1.0)
+        for _ in range(20):
+            dst = pattern.arrivals()
+            assert (dst == 2).all()
+
+    def test_hot_output_receives_extra_traffic(self):
+        pattern = Hotspot(8, 1.0, seed=2, hotspot=0, fraction=0.5)
+        counts = np.zeros(8)
+        for _ in range(2000):
+            for dst in pattern.arrivals():
+                counts[dst] += 1
+        assert counts[0] > 3 * counts[1:].mean()
+
+    def test_rate_matrix_sums_to_load(self):
+        pattern = Hotspot(4, 0.6, seed=3, fraction=0.3)
+        assert pattern.rate_matrix().sum(axis=1) == pytest.approx(np.full(4, 0.6))
+
+    def test_invalid_hotspot_rejected(self):
+        with pytest.raises(ValueError):
+            Hotspot(4, 0.5, hotspot=4)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Hotspot(4, 0.5, fraction=1.5)
+
+
+class TestDiagonal:
+    def test_destinations_limited_to_two(self):
+        pattern = Diagonal(4, 1.0, seed=4)
+        for _ in range(50):
+            dst = pattern.arrivals()
+            for i in range(4):
+                assert dst[i] in (i, (i + 1) % 4)
+
+    def test_two_thirds_one_third_split(self):
+        pattern = Diagonal(4, 1.0, seed=5)
+        own = 0
+        total = 0
+        for _ in range(3000):
+            dst = pattern.arrivals()
+            own += int((dst == np.arange(4)).sum())
+            total += 4
+        assert own / total == pytest.approx(2 / 3, abs=0.03)
+
+    def test_rate_matrix(self):
+        rate = Diagonal(4, 0.9, seed=6).rate_matrix()
+        assert rate[0, 0] == pytest.approx(0.6)
+        assert rate[0, 1] == pytest.approx(0.3)
+        assert rate.sum() == pytest.approx(4 * 0.9)
+
+
+class TestLogDiagonal:
+    def test_rate_decays_geometrically(self):
+        rate = LogDiagonal(8, 1.0, seed=7).rate_matrix()
+        assert rate[0, 0] > rate[0, 1] > rate[0, 2]
+        assert rate[0, 0] / rate[0, 1] == pytest.approx(2.0, rel=0.01)
+
+    def test_row_sums_equal_load(self):
+        rate = LogDiagonal(8, 0.5, seed=8).rate_matrix()
+        assert rate.sum(axis=1) == pytest.approx(np.full(8, 0.5))
+
+    def test_empirical_skew(self):
+        pattern = LogDiagonal(4, 1.0, seed=9)
+        own = sum(
+            int((pattern.arrivals() == np.arange(4)).sum()) for _ in range(2000)
+        )
+        assert own / 8000 == pytest.approx(8 / 15, abs=0.04)  # 2^0/(2^0+..+2^-3)
+
+
+class TestPermutation:
+    def test_fixed_destinations(self):
+        perm = np.array([2, 3, 0, 1])
+        pattern = Permutation(4, 1.0, seed=10, permutation=perm)
+        for _ in range(20):
+            assert (pattern.arrivals() == perm).all()
+
+    def test_default_permutation_is_valid(self):
+        pattern = Permutation(6, 1.0, seed=11)
+        assert sorted(pattern.permutation.tolist()) == list(range(6))
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation(3, 0.5, permutation=np.array([0, 0, 1]))
+
+    def test_contention_free_rate_matrix(self):
+        pattern = Permutation(4, 0.8, seed=12)
+        rate = pattern.rate_matrix()
+        assert rate.sum(axis=0) == pytest.approx(np.full(4, 0.8))
+        assert rate.sum(axis=1) == pytest.approx(np.full(4, 0.8))

@@ -1,0 +1,76 @@
+"""Trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.base import NO_ARRIVAL, available_patterns, make_traffic
+from repro.traffic.bernoulli import BernoulliUniform
+from repro.traffic.trace import TraceReplay, record_trace
+
+
+class TestTraceReplay:
+    def test_replays_exactly(self):
+        trace = np.array([[0, -1], [1, 0], [-1, -1]], dtype=np.int64)
+        pattern = TraceReplay(trace)
+        assert pattern.arrivals().tolist() == [0, -1]
+        assert pattern.arrivals().tolist() == [1, 0]
+        assert pattern.arrivals().tolist() == [-1, -1]
+
+    def test_wraps_by_default(self):
+        trace = np.array([[1, 0]], dtype=np.int64)
+        pattern = TraceReplay(trace)
+        pattern.arrivals()
+        assert pattern.arrivals().tolist() == [1, 0]
+
+    def test_no_wrap_returns_silence(self):
+        trace = np.array([[1, 0]], dtype=np.int64)
+        pattern = TraceReplay(trace, wrap=False)
+        pattern.arrivals()
+        assert (pattern.arrivals() == NO_ARRIVAL).all()
+
+    def test_reset_rewinds(self):
+        trace = np.array([[0, 1], [1, 0]], dtype=np.int64)
+        pattern = TraceReplay(trace)
+        pattern.arrivals()
+        pattern.reset()
+        assert pattern.arrivals().tolist() == [0, 1]
+
+    def test_out_of_range_destination_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplay(np.array([[5, 0]], dtype=np.int64))
+
+    def test_load_estimated_from_trace(self):
+        trace = np.array([[0, -1], [-1, -1]], dtype=np.int64)
+        assert TraceReplay(trace).load == pytest.approx(0.25)
+
+    def test_rate_matrix_from_trace(self):
+        trace = np.array([[1, -1], [1, -1]], dtype=np.int64)
+        rate = TraceReplay(trace).rate_matrix()
+        assert rate[0, 1] == pytest.approx(1.0)
+        assert rate.sum() == pytest.approx(1.0)
+
+
+class TestRecordTrace:
+    def test_record_then_replay_is_identical(self):
+        source = BernoulliUniform(4, 0.5, seed=9)
+        trace = record_trace(source, 50)
+        source.reset()
+        replay = TraceReplay(trace)
+        for _ in range(50):
+            assert (source.arrivals() == replay.arrivals()).all()
+
+
+class TestRegistry:
+    def test_all_patterns_constructible(self):
+        for name in available_patterns():
+            pattern = make_traffic(name, 4, 0.5, seed=1)
+            dst = pattern.arrivals()
+            assert dst.shape == (4,)
+
+    def test_unknown_pattern_raises(self):
+        with pytest.raises(KeyError):
+            make_traffic("nope", 4, 0.5)
+
+    def test_kwargs_forwarded(self):
+        pattern = make_traffic("hotspot", 4, 0.5, hotspot=3, fraction=1.0)
+        assert pattern.hotspot == 3
