@@ -5,9 +5,17 @@ Regenerates both plots (ASCII + data table) on a reduced grid and
 asserts the Section 6.3 qualitative claims. The paper's exact setup
 (16 ports, VOQ 256, PQ 1000, 4 iterations, uniform Bernoulli) is kept;
 only the measurement window and load grid are shortened.
+
+The grid is executed by the :mod:`repro.sweep` engine. It runs serially
+by default so the benchmark numbers stay comparable; set
+``LCF_BENCH_WORKERS=4`` to fan the points out over worker processes
+(the statistics are identical — every point is a pure function of its
+seed).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -27,7 +35,7 @@ def fig12_sweep():
     spec = SweepSpec(
         schedulers=PAPER_SCHEDULERS, loads=BENCH_LOADS, config=BENCH_CONFIG
     )
-    return run_sweep(spec)
+    return run_sweep(spec, processes=int(os.environ.get("LCF_BENCH_WORKERS", "1")))
 
 
 def test_fig12a_absolute_latency(benchmark, fig12_sweep):

@@ -6,6 +6,10 @@ standard stress patterns from the input-queued switching literature.
 They probe whether LCF's least-choice rule — tuned to break uniform
 contention — survives skew (hotspot), structural asymmetry (diagonal)
 and temporal correlation (bursty arrivals).
+
+Each scenario is one :class:`~repro.sweep.SweepSpec` grid executed by
+the :mod:`repro.sweep` engine (serially here, for stable benchmark
+numbers — the per-point results are identical at any worker count).
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ import pytest
 
 from benchmarks.conftest import BENCH_CONFIG, once
 from repro.analysis.tables import format_table
-from repro.sim.simulator import run_simulation
+from repro.sweep import ParallelRunner, SweepSpec
 
 SCHEDULERS = ("lcf_central", "lcf_central_rr", "lcf_dist", "pim", "islip", "wfront")
 
@@ -31,11 +35,17 @@ def test_nonuniform_scenario(benchmark, scenario):
     traffic, load, kwargs = SCENARIOS[scenario]
 
     def report():
+        spec = SweepSpec(
+            schedulers=SCHEDULERS,
+            loads=(load,),
+            config=BENCH_CONFIG,
+            traffic=traffic,
+            traffic_kwargs=tuple(kwargs.items()),
+        )
+        run = ParallelRunner(workers=1).run(spec)
         rows = []
         for name in SCHEDULERS:
-            result = run_simulation(
-                BENCH_CONFIG, name, load, traffic=traffic, traffic_kwargs=kwargs
-            )
+            result = run.get(name, load)
             rows.append(
                 {
                     "scheduler": name,

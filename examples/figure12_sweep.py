@@ -4,10 +4,22 @@ schedulers, absolute (12a) and relative to output buffering (12b).
 
 With no arguments this runs a medium-fidelity grid (~a few minutes on
 one core). ``--full`` runs the paper-fidelity grid (20 loads, 20k
-measured slots — plan for an hour on a laptop core). Results are
-printed as tables and ASCII plots and optionally written to CSV.
+measured slots). The grid is executed by the :mod:`repro.sweep` engine:
 
-Run: python examples/figure12_sweep.py [--full] [--csv fig12.csv]
+* ``--workers N`` fans the independent points out over N processes —
+  the statistics are identical to a serial run, only faster;
+* ``--replicates R`` runs each point under R derived seeds
+  (``seed+0 .. seed+R-1``) and merges the shards with pooled
+  mean/variance, shrinking Monte-Carlo noise;
+* ``--cache-dir DIR`` makes the sweep resumable: completed points are
+  stored as they finish, an interrupted run picks up where it stopped,
+  and a finished run replays from disk in seconds.
+
+Results are printed as tables and ASCII plots and optionally written to
+CSV. See docs/EXPERIMENT_WORKFLOW.md for the full workflow.
+
+Run: python examples/figure12_sweep.py [--full] [--workers 4]
+         [--replicates 4] [--cache-dir .sweep-cache] [--csv fig12.csv]
 """
 
 import argparse
@@ -28,6 +40,13 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="paper-fidelity grid (slow)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--replicates", type=int, default=1,
+                        help="seed replicates per point, merged with "
+                        "pooled statistics")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="resumable on-disk result cache")
     parser.add_argument("--csv", metavar="PATH", help="write results as CSV")
     args = parser.parse_args()
 
@@ -38,12 +57,21 @@ def main() -> None:
         config = SimConfig(warmup_slots=500, measure_slots=4000)
         loads = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0)
 
-    spec = SweepSpec(schedulers=PAPER_SCHEDULERS, loads=loads, config=config)
-    print(
-        f"Sweeping {len(spec.schedulers)} schedulers x {len(loads)} loads, "
-        f"{config.n_ports} ports, {config.measure_slots} measured slots each..."
+    spec = SweepSpec(
+        schedulers=PAPER_SCHEDULERS,
+        loads=loads,
+        config=config,
+        replicates=args.replicates,
     )
-    sweep = run_sweep(spec, progress=True)
+    print(
+        f"Sweeping {len(spec.schedulers)} schedulers x {len(loads)} loads "
+        f"x {spec.replicates} replicate(s), {config.n_ports} ports, "
+        f"{config.measure_slots} measured slots each, "
+        f"{args.workers} worker(s)..."
+    )
+    sweep = run_sweep(
+        spec, processes=args.workers, progress=True, cache=args.cache_dir
+    )
 
     print()
     print(sweep.plot(relative=False))

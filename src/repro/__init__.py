@@ -66,6 +66,13 @@ from repro.sim import (
     run_simulation,
 )
 from repro.sim.cioq import CIOQSwitch
+from repro.sweep import (
+    ParallelRunner,
+    ResultCache,
+    SweepPoint,
+    SweepSpec,
+    merge_results,
+)
 from repro.traffic import TrafficPattern, make_traffic
 from repro.types import NO_GRANT
 
@@ -104,6 +111,12 @@ __all__ = [
     "OutputBufferedSwitch",
     "PipelinedSwitch",
     "CIOQSwitch",
+    # sweep engine
+    "SweepSpec",
+    "SweepPoint",
+    "ParallelRunner",
+    "ResultCache",
+    "merge_results",
     # extensions
     "LQF",
     "OCF",

@@ -13,17 +13,33 @@
 * :mod:`repro.analysis.cli` — the ``lcf-sweep`` command-line entry point.
 """
 
+from repro.analysis.convergence import convergence_curve, convergence_table
 from repro.analysis.fairness import saturated_service_counts, starvation_report
-from repro.analysis.sweep import SweepResult, SweepSpec, check_paper_shape, run_sweep
+from repro.analysis.replication import compare_with_ci, replicate
+from repro.analysis.sweep import (
+    SweepResult,
+    SweepSpec,
+    check_paper_shape,
+    run_sweep,
+    shape_report,
+)
 from repro.analysis.throughput import saturation_table, saturation_throughput
+from repro.analysis.voq_dynamics import leveling_comparison, measure_voq_dynamics
 
 __all__ = [
     "SweepSpec",
     "SweepResult",
     "run_sweep",
     "check_paper_shape",
+    "shape_report",
     "saturated_service_counts",
     "starvation_report",
     "saturation_throughput",
     "saturation_table",
+    "replicate",
+    "compare_with_ci",
+    "convergence_curve",
+    "convergence_table",
+    "measure_voq_dynamics",
+    "leveling_comparison",
 ]

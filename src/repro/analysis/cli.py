@@ -6,6 +6,12 @@ Examples::
         --ports 16 --measure-slots 5000 --plot
     lcf-sweep --paper --csv fig12a.csv          # the full Figure 12 grid
     lcf-sweep --relative --plot                 # Figure 12b transform
+    lcf-sweep --paper --workers 4 --replicates 4 --cache-dir .sweep-cache
+                                                # parallel, resumable run
+
+The sweep itself is executed by :mod:`repro.sweep` — see
+``docs/EXPERIMENT_WORKFLOW.md`` for the full workflow (parallelism,
+shard seeds, caching/resume).
 """
 
 from __future__ import annotations
@@ -63,7 +69,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="pattern parameter, repeatable (e.g. --traffic-arg fraction=0.3 "
         "with --traffic hotspot); values parse as int, then float, else str",
     )
-    parser.add_argument("--processes", type=int, default=1)
+    parser.add_argument(
+        "--workers", "--processes", dest="workers", type=int, default=1,
+        help="simulation worker processes (1 = serial, bit-identical to "
+        "the historical sequential run)",
+    )
+    parser.add_argument(
+        "--replicates", type=int, default=1,
+        help="independent seed replicates per (scheduler, load) point; "
+        "replicate r runs under seed+r and shards are merged with "
+        "pooled statistics",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="on-disk result cache; completed points are stored as they "
+        "finish, so interrupted sweeps resume and re-runs are instant",
+    )
     parser.add_argument("--relative", action="store_true",
                         help="report latency relative to outbuf (Figure 12b)")
     parser.add_argument("--plot", action="store_true", help="ASCII plot")
@@ -112,8 +133,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
         traffic=args.traffic,
         traffic_kwargs=_parse_traffic_args(args.traffic_arg),
+        replicates=args.replicates,
     )
-    sweep = run_sweep(spec, processes=args.processes, progress=not args.quiet)
+    sweep = run_sweep(
+        spec,
+        processes=args.workers,
+        progress=not args.quiet,
+        cache=args.cache_dir,
+    )
 
     if args.csv:
         with open(args.csv, "w") as handle:

@@ -1,65 +1,60 @@
-"""The Figure 12 load-sweep harness.
+"""The Figure 12 load-sweep harness (presentation layer).
 
-Runs a grid of (scheduler, load) simulation points, optionally in
-parallel worker processes, and post-processes the results into the two
-paper plots: absolute queueing delay versus load (Figure 12a) and delay
-relative to the output-buffered switch (Figure 12b).
+Runs a grid of (scheduler, load) simulation points through the
+:mod:`repro.sweep` engine — optionally over parallel worker processes,
+replicated seeds, and an on-disk result cache — and post-processes the
+results into the two paper plots: absolute queueing delay versus load
+(Figure 12a) and delay relative to the output-buffered switch
+(Figure 12b).
 
 :func:`check_paper_shape` encodes the qualitative claims of Section 6.3
 as machine-checkable assertions — the reproduction's acceptance
 criteria. Absolute delays depend on simulator details the paper does
 not specify (measurement conventions, run lengths); the *orderings and
 crossovers* are what must hold.
+
+``SweepSpec`` and ``PAPER_LOADS`` are re-exported from
+:mod:`repro.sweep.spec`, where they now live; existing imports keep
+working.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from multiprocessing import Pool
+from dataclasses import dataclass
+from pathlib import Path
 
 from repro.analysis.asciiplot import ascii_plot
 from repro.analysis.tables import rows_to_csv
-from repro.baselines.registry import PAPER_SCHEDULERS
-from repro.sim.config import SimConfig
-from repro.sim.simulator import SimResult, run_simulation
+from repro.sim.simulator import SimResult
+from repro.sweep.cache import ResultCache
+from repro.sweep.runner import ParallelRunner, SweepRunReport
+from repro.sweep.spec import PAPER_LOADS, SweepSpec
 
-#: The load grid of Figure 12 (0.05 steps up to 1.0).
-PAPER_LOADS = tuple(round(0.05 * k, 2) for k in range(1, 21))
-
-
-@dataclass(frozen=True)
-class SweepSpec:
-    """A (schedulers x loads) simulation grid."""
-
-    schedulers: tuple[str, ...] = PAPER_SCHEDULERS
-    loads: tuple[float, ...] = PAPER_LOADS
-    config: SimConfig = field(default_factory=SimConfig)
-    traffic: str = "bernoulli"
-    traffic_kwargs: tuple[tuple[str, object], ...] = ()
-
-    def points(self) -> list[tuple[str, float]]:
-        return [(name, load) for name in self.schedulers for load in self.loads]
-
-
-def _run_point(args: tuple[SweepSpec, str, float]) -> SimResult:
-    """Worker entry point (module level so it pickles for Pool)."""
-    spec, name, load = args
-    return run_simulation(
-        spec.config,
-        name,
-        load,
-        traffic=spec.traffic,
-        traffic_kwargs=dict(spec.traffic_kwargs),
-    )
+__all__ = [
+    "PAPER_LOADS",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "check_paper_shape",
+    "shape_report",
+    "ShapeCheck",
+]
 
 
 @dataclass
 class SweepResult:
-    """Results of a sweep, indexed by (scheduler, load)."""
+    """Results of a sweep, indexed by (scheduler, load).
+
+    With ``replicates > 1`` each entry is the shard-merged statistic
+    (see :func:`repro.sweep.merge.merge_results`); with one replicate
+    it is the plain per-point :class:`SimResult`.
+    """
 
     spec: SweepSpec
     results: dict[tuple[str, float], SimResult]
+    #: Timing/caching report of the run that produced these results
+    #: (``None`` for hand-built instances).
+    report: SweepRunReport | None = None
 
     def get(self, scheduler: str, load: float) -> SimResult:
         return self.results[(scheduler, load)]
@@ -118,31 +113,22 @@ class SweepResult:
 
 
 def run_sweep(
-    spec: SweepSpec, processes: int = 1, progress: bool = False
+    spec: SweepSpec,
+    processes: int = 1,
+    progress: bool = False,
+    cache: ResultCache | str | Path | None = None,
 ) -> SweepResult:
-    """Execute every point of the sweep grid.
+    """Execute every point of the sweep grid via the parallel engine.
 
     ``processes > 1`` fans the points out over a multiprocessing pool —
     each point is independent, so this scales linearly on real
-    multi-core hosts.
+    multi-core hosts. ``processes=1`` runs serially in grid order and
+    is bit-identical to the historical sequential loop. ``cache`` (a
+    directory path or :class:`ResultCache`) makes the sweep resumable:
+    completed points are stored as they finish and reused on re-runs.
     """
-    points = spec.points()
-    args = [(spec, name, load) for name, load in points]
-    results: dict[tuple[str, float], SimResult] = {}
-    if processes > 1:
-        with Pool(processes) as pool:
-            for (name, load), result in zip(points, pool.map(_run_point, args)):
-                results[(name, load)] = result
-    else:
-        for index, arg in enumerate(args):
-            result = _run_point(arg)
-            results[points[index]] = result
-            if progress:
-                print(
-                    f"[{index + 1}/{len(args)}] {result.scheduler:<16} "
-                    f"load={result.load:<5} latency={result.mean_latency:8.3f}"
-                )
-    return SweepResult(spec, results)
+    run = ParallelRunner(workers=processes, cache=cache, progress=progress).run(spec)
+    return SweepResult(spec, dict(run.merged), report=run.report)
 
 
 @dataclass

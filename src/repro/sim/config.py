@@ -27,7 +27,8 @@ class SimConfig:
     iterations: int = 4
     #: Slots simulated before statistics collection starts.
     warmup_slots: int = 2000
-    #: Slots over which latency/throughput are measured.
+    #: Slots over which latency/throughput are measured. May be 0 for a
+    #: warmup-only smoke run; statistics then come back as NaN.
     measure_slots: int = 20000
     #: Traffic RNG seed.
     seed: int = 1
@@ -40,8 +41,8 @@ class SimConfig:
                 raise ValueError(f"{field_name} must be >= 1")
         if self.iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {self.iterations}")
-        if self.warmup_slots < 0 or self.measure_slots < 1:
-            raise ValueError("warmup_slots must be >= 0 and measure_slots >= 1")
+        if self.warmup_slots < 0 or self.measure_slots < 0:
+            raise ValueError("warmup_slots and measure_slots must be >= 0")
 
     @property
     def total_slots(self) -> int:

@@ -19,7 +19,27 @@ class OnlineStats:
     """Streaming mean/variance/min/max (Welford's algorithm).
 
     Numerically stable over millions of samples, mergeable across
-    parallel shards.
+    parallel shards — :mod:`repro.sweep` recombines per-replicate
+    simulation statistics with :meth:`merge`.
+
+    Examples
+    --------
+    >>> stats = OnlineStats()
+    >>> for value in [2.0, 4.0, 6.0]:
+    ...     stats.add(value)
+    >>> stats.count, stats.mean, stats.min, stats.max
+    (3, 4.0, 2.0, 6.0)
+    >>> stats.variance  # sample variance, ddof=1
+    4.0
+
+    A fresh accumulator has no samples, so its moments are NaN and its
+    extrema are the identity elements of min/max:
+
+    >>> empty = OnlineStats()
+    >>> math.isnan(empty.mean) and math.isnan(empty.variance)
+    True
+    >>> empty.min, empty.max
+    (inf, -inf)
     """
 
     def __init__(self) -> None:
@@ -40,7 +60,44 @@ class OnlineStats:
             self.max = value
 
     def merge(self, other: "OnlineStats") -> "OnlineStats":
-        """Combine two disjoint sample streams (Chan et al. parallel form)."""
+        """Combine two disjoint sample streams (Chan et al. parallel form).
+
+        Returns a *new* accumulator equivalent to having streamed both
+        inputs' samples through one instance (up to floating-point
+        rounding in the merge order): counts add, the mean is the
+        count-weighted mean, and the second moments combine through the
+        pooled form ``m2 = m2_a + m2_b + delta² · n_a · n_b / n``
+        with ``delta = mean_b − mean_a``.
+
+        Empty shards are the identity: merging with a fresh
+        ``OnlineStats`` changes nothing, and merging two empty shards
+        yields an empty result (count 0, NaN mean/variance, ±inf
+        extrema) — NaN never leaks from an empty side into a non-empty
+        one.
+
+        Examples
+        --------
+        >>> left, right, whole = OnlineStats(), OnlineStats(), OnlineStats()
+        >>> for value in [1.0, 2.0, 3.0]:
+        ...     left.add(value)
+        >>> for value in [4.0, 5.0]:
+        ...     right.add(value)
+        >>> for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+        ...     whole.add(value)
+        >>> merged = left.merge(right)
+        >>> merged.count, merged.mean, merged.min, merged.max
+        (5, 3.0, 1.0, 5.0)
+        >>> merged.variance == whole.variance
+        True
+
+        >>> solo = OnlineStats()
+        >>> solo.add(7.5)
+        >>> identity = solo.merge(OnlineStats())
+        >>> identity.count, identity.mean, identity.min, identity.max
+        (1, 7.5, 7.5, 7.5)
+        >>> OnlineStats().merge(OnlineStats()).count
+        0
+        """
         merged = OnlineStats()
         merged.count = self.count + other.count
         if merged.count == 0:
@@ -81,6 +138,13 @@ def jain_index(allocations: np.ndarray) -> float:
 
     ``allocations`` are non-negative service amounts (e.g. packets
     forwarded per flow).
+
+    Examples
+    --------
+    >>> jain_index([10, 10, 10, 10])
+    1.0
+    >>> jain_index([1, 0, 0, 0])
+    0.25
     """
     x = np.asarray(allocations, dtype=float).ravel()
     if x.size == 0:

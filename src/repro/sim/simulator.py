@@ -135,6 +135,9 @@ def run_simulation(
         else {}
     )
     service = getattr(switch, "service", None)
+    # A warmup-only run (measure_slots=0) measures nothing: throughput
+    # is undefined, not a division error.
+    port_slots = config.n_ports * config.measure_slots
     return SimResult(
         scheduler=scheduler_name,
         load=load,
@@ -146,7 +149,7 @@ def run_simulation(
         offered=switch.offered,
         forwarded=switch.forwarded,
         dropped=switch.dropped,
-        throughput=switch.forwarded / (config.n_ports * config.measure_slots),
+        throughput=switch.forwarded / port_slots if port_slots else math.nan,
         percentiles=percentiles,
         service_counts=service.counts.copy() if service is not None else None,
     )

@@ -1,0 +1,43 @@
+"""The parallel sweep engine.
+
+Every Figure 12 data point is an independent simulation, so the full
+(scheduler x load x replicate) grid is embarrassingly parallel. This
+package turns that observation into infrastructure:
+
+* :mod:`repro.sweep.spec` — :class:`SweepSpec` enumerates the grid as
+  :class:`SweepPoint` records with deterministically derived per-
+  replicate seeds;
+* :mod:`repro.sweep.runner` — :class:`ParallelRunner` fans points out
+  over ``multiprocessing`` workers (``workers=1`` is a serial path
+  bit-identical to calling :func:`repro.sim.simulator.run_simulation`
+  in a loop), reports progress/ETA, and aggregates a timing report;
+* :mod:`repro.sweep.cache` — :class:`ResultCache`, an on-disk JSON
+  store keyed by a stable hash of ``SimConfig`` + point, so
+  interrupted sweeps resume without recomputation;
+* :mod:`repro.sweep.merge` — replicate shards are combined with
+  :meth:`repro.sim.metrics.OnlineStats.merge` (Chan et al. pooled
+  mean/variance) into a single merged :class:`~repro.sim.simulator.SimResult`.
+
+The Figure 12 presentation layer (:mod:`repro.analysis.sweep`) is a
+thin client of this engine.
+"""
+
+from repro.sweep.cache import CACHE_VERSION, ResultCache, point_key
+from repro.sweep.merge import merge_results, stats_from_result
+from repro.sweep.runner import ParallelRunner, PointOutcome, SweepRun, SweepRunReport
+from repro.sweep.spec import PAPER_LOADS, SweepPoint, SweepSpec
+
+__all__ = [
+    "PAPER_LOADS",
+    "SweepPoint",
+    "SweepSpec",
+    "ParallelRunner",
+    "PointOutcome",
+    "SweepRun",
+    "SweepRunReport",
+    "ResultCache",
+    "point_key",
+    "CACHE_VERSION",
+    "merge_results",
+    "stats_from_result",
+]

@@ -1,0 +1,228 @@
+"""The parallel sweep runner.
+
+:class:`ParallelRunner` executes every :class:`~repro.sweep.spec.SweepPoint`
+of a :class:`~repro.sweep.spec.SweepSpec`:
+
+1. each point is looked up in the :class:`~repro.sweep.cache.ResultCache`
+   (if one is attached) — hits skip simulation entirely;
+2. misses run through :func:`repro.sim.simulator.run_simulation`,
+   serially in spec order when ``workers <= 1`` (bit-identical to the
+   historical sequential loop) or fanned out over a
+   ``multiprocessing.Pool`` otherwise;
+3. each computed point is written back to the cache *as it completes*,
+   so an interrupted sweep resumes from the completed prefix;
+4. replicate shards of each (scheduler, load) cell are merged in
+   replicate order with :func:`repro.sweep.merge.merge_results`.
+
+Because every point is a pure function of its seed, the merged
+statistics are independent of worker count and completion order — a
+``workers=4`` run reproduces the ``workers=1`` numbers exactly (shards
+are always merged in the same order, so there is not even a
+floating-point merge-order difference).
+
+Progress lines report completed/total points, the compute rate in
+points/sec, and an ETA over the remaining uncached points; the final
+:class:`SweepRunReport` adds per-scheduler wall-clock totals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from multiprocessing import Pool
+from pathlib import Path
+from typing import Callable
+
+from repro.sim.config import SimConfig
+from repro.sim.simulator import SimResult, run_simulation
+from repro.sweep.cache import ResultCache, point_key
+from repro.sweep.merge import merge_results
+from repro.sweep.spec import SweepPoint, SweepSpec
+
+
+def _run_point(args: tuple[int, SimConfig, SweepPoint]) -> tuple[int, SimResult, float]:
+    """Worker entry point (module level so it pickles for Pool)."""
+    index, config, point = args
+    start = time.perf_counter()
+    result = run_simulation(
+        config,
+        point.scheduler,
+        point.load,
+        traffic=point.traffic,
+        traffic_kwargs=dict(point.traffic_kwargs),
+    )
+    return index, result, time.perf_counter() - start
+
+
+@dataclass
+class PointOutcome:
+    """How one sweep point was resolved."""
+
+    point: SweepPoint
+    result: SimResult
+    #: True if the result came from the cache instead of a simulation.
+    cached: bool
+    #: Compute seconds inside the worker (0.0 for cache hits).
+    elapsed: float
+
+
+@dataclass
+class SweepRunReport:
+    """Timing/caching summary of one sweep execution."""
+
+    total_points: int
+    computed: int
+    cache_hits: int
+    workers: int
+    #: End-to-end wall-clock of the whole run, seconds.
+    wall_clock: float
+    #: Per-scheduler compute seconds (summed over that scheduler's points).
+    scheduler_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def points_per_sec(self) -> float:
+        """Computed points per wall-clock second (cache hits excluded)."""
+        return self.computed / self.wall_clock if self.wall_clock > 0 else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"sweep: {self.total_points} points "
+            f"({self.computed} computed, {self.cache_hits} cached) "
+            f"in {self.wall_clock:.1f}s with {self.workers} worker(s) "
+            f"[{self.points_per_sec:.2f} pts/s]"
+        ]
+        for name, seconds in sorted(
+            self.scheduler_seconds.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"  {name:<16} {seconds:8.1f}s compute")
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepRun:
+    """Everything a finished sweep produced."""
+
+    spec: SweepSpec
+    #: One outcome per point, in :meth:`SweepSpec.points` order.
+    outcomes: list[PointOutcome]
+    report: SweepRunReport
+
+    def __post_init__(self) -> None:
+        shards: dict[tuple[str, float], list[SimResult]] = {}
+        for outcome in self.outcomes:
+            shards.setdefault(outcome.point.grid_key, []).append(outcome.result)
+        #: Merged result per (scheduler, load) cell, replicate shards
+        #: combined in replicate order.
+        self.merged: dict[tuple[str, float], SimResult] = {
+            key: merge_results(cell) for key, cell in shards.items()
+        }
+
+    def get(self, scheduler: str, load: float) -> SimResult:
+        """The merged result of one grid cell."""
+        return self.merged[(scheduler, load)]
+
+    def replicates(self, scheduler: str, load: float) -> list[SimResult]:
+        """The individual replicate shards of one grid cell, in order."""
+        return [
+            outcome.result
+            for outcome in self.outcomes
+            if outcome.point.grid_key == (scheduler, load)
+        ]
+
+
+class ParallelRunner:
+    """Execute a :class:`SweepSpec`, optionally in parallel and cached.
+
+    ``workers``
+        process count; ``<= 1`` runs serially in spec order.
+    ``cache``
+        a :class:`ResultCache`, a directory path to open one at, or
+        ``None`` to disable caching.
+    ``progress``
+        ``True`` to print per-point progress lines, or a callable
+        receiving each line (e.g. ``log.info``).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | str | Path | None = None,
+        progress: bool | Callable[[str], None] = False,
+    ):
+        self.workers = workers
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.progress = progress
+
+    def _emit(self, line: str) -> None:
+        if callable(self.progress):
+            self.progress(line)
+        elif self.progress:
+            print(line)
+
+    def run(self, spec: SweepSpec) -> SweepRun:
+        points = spec.points()
+        total = len(points)
+        outcomes: list[PointOutcome | None] = [None] * total
+        keys: list[str | None] = [None] * total
+        pending: list[tuple[int, SimConfig, SweepPoint]] = []
+        start = time.perf_counter()
+
+        for index, point in enumerate(points):
+            if self.cache is not None:
+                keys[index] = point_key(spec.config, point)
+                hit = self.cache.get(keys[index])
+                if hit is not None:
+                    outcomes[index] = PointOutcome(point, hit, cached=True, elapsed=0.0)
+                    continue
+            pending.append((index, spec.point_config(point), point))
+
+        hits = total - len(pending)
+        if hits:
+            self._emit(f"cache: {hits}/{total} points already computed")
+
+        completed = 0
+
+        def finish(index: int, result: SimResult, elapsed: float) -> None:
+            nonlocal completed
+            completed += 1
+            point = points[index]
+            outcomes[index] = PointOutcome(point, result, cached=False, elapsed=elapsed)
+            if self.cache is not None and keys[index] is not None:
+                self.cache.put(keys[index], result)
+            running = time.perf_counter() - start
+            rate = completed / running if running > 0 else 0.0
+            remaining = len(pending) - completed
+            eta = remaining / rate if rate > 0 else float("inf")
+            self._emit(
+                f"[{hits + completed}/{total}] {point.label():<32} "
+                f"{elapsed:6.2f}s | {rate:5.2f} pts/s, ETA {eta:5.0f}s"
+            )
+
+        if pending:
+            if self.workers <= 1:
+                for args in pending:
+                    finish(*_run_point(args))
+            else:
+                with Pool(self.workers) as pool:
+                    for index, result, elapsed in pool.imap_unordered(
+                        _run_point, pending
+                    ):
+                        finish(index, result, elapsed)
+
+        wall = time.perf_counter() - start
+        scheduler_seconds: dict[str, float] = {}
+        for outcome in outcomes:
+            seconds = scheduler_seconds.setdefault(outcome.point.scheduler, 0.0)
+            scheduler_seconds[outcome.point.scheduler] = seconds + outcome.elapsed
+        report = SweepRunReport(
+            total_points=total,
+            computed=completed,
+            cache_hits=hits,
+            workers=self.workers,
+            wall_clock=wall,
+            scheduler_seconds=scheduler_seconds,
+        )
+        self._emit(report.summary())
+        return SweepRun(spec=spec, outcomes=list(outcomes), report=report)

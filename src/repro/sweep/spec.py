@@ -1,0 +1,104 @@
+"""Sweep specification: the (scheduler x load x replicate) point grid.
+
+A :class:`SweepSpec` describes a whole experiment; :meth:`SweepSpec.points`
+flattens it into :class:`SweepPoint` records, each carrying the exact
+``SimConfig`` seed its simulation must run under. Seeds are derived
+deterministically — replicate ``r`` runs with ``config.seed + r`` — so
+
+* replicate 0 of every (scheduler, load) cell is *bit-identical* to a
+  plain ``run_simulation(config, scheduler, load)`` call, and
+* the grid's outcome is a pure function of the spec: any executor
+  (serial loop, process pool, resumed cache) produces the same results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.registry import PAPER_SCHEDULERS
+from repro.sim.config import SimConfig
+
+#: The load grid of Figure 12 (0.05 steps up to 1.0).
+PAPER_LOADS = tuple(round(0.05 * k, 2) for k in range(1, 21))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation to run: a grid cell plus its replicate seed."""
+
+    scheduler: str
+    load: float
+    traffic: str
+    traffic_kwargs: tuple[tuple[str, object], ...]
+    #: Effective ``SimConfig.seed`` for this run (base seed + replicate).
+    seed: int
+    #: 0-based replicate index within the (scheduler, load) cell.
+    replicate: int
+
+    @property
+    def grid_key(self) -> tuple[str, float]:
+        """The (scheduler, load) cell this point belongs to."""
+        return (self.scheduler, self.load)
+
+    def label(self) -> str:
+        """Short human-readable identifier for progress lines."""
+        return f"{self.scheduler} load={self.load} rep={self.replicate}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A (schedulers x loads x replicates) simulation grid."""
+
+    schedulers: tuple[str, ...] = PAPER_SCHEDULERS
+    loads: tuple[float, ...] = PAPER_LOADS
+    config: SimConfig = field(default_factory=SimConfig)
+    traffic: str = "bernoulli"
+    traffic_kwargs: tuple[tuple[str, object], ...] = ()
+    #: Independent repetitions per (scheduler, load) cell; shard ``r``
+    #: runs under seed ``config.seed + r`` and shards are merged with
+    #: :func:`repro.sweep.merge.merge_results`.
+    replicates: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replicates < 1:
+            raise ValueError(f"replicates must be >= 1, got {self.replicates}")
+        if not self.schedulers:
+            raise ValueError("schedulers must be non-empty")
+        if not self.loads:
+            raise ValueError("loads must be non-empty")
+
+    def seed_for(self, replicate: int) -> int:
+        """Shard seed derivation: base seed plus the replicate index."""
+        return self.config.seed + replicate
+
+    def points(self) -> list[SweepPoint]:
+        """Flatten the grid, scheduler-major then load then replicate.
+
+        The order is part of the contract: serial execution and shard
+        merging both follow it, which is what makes ``workers=1``
+        reproduce the historical sequential trajectory exactly.
+        """
+        return [
+            SweepPoint(
+                scheduler=name,
+                load=load,
+                traffic=self.traffic,
+                traffic_kwargs=self.traffic_kwargs,
+                seed=self.seed_for(replicate),
+                replicate=replicate,
+            )
+            for name in self.schedulers
+            for load in self.loads
+            for replicate in range(self.replicates)
+        ]
+
+    def grid_keys(self) -> list[tuple[str, float]]:
+        """The (scheduler, load) cells, in the same major order."""
+        return [(name, load) for name in self.schedulers for load in self.loads]
+
+    def point_config(self, point: SweepPoint) -> SimConfig:
+        """The exact ``SimConfig`` the point's simulation runs under."""
+        return self.config.with_(seed=point.seed)
+
+    def n_points(self) -> int:
+        return len(self.schedulers) * len(self.loads) * self.replicates

@@ -12,7 +12,7 @@ from repro.traffic.base import NO_ARRIVAL, TrafficPattern, make_traffic, availab
 from repro.traffic.bernoulli import BernoulliUniform
 from repro.traffic.bursty import BurstyOnOff
 from repro.traffic.nonuniform import Diagonal, Hotspot, LogDiagonal, Permutation
-from repro.traffic.trace import TraceReplay
+from repro.traffic.trace import TraceReplay, record_trace
 
 __all__ = [
     "NO_ARRIVAL",
@@ -26,4 +26,5 @@ __all__ = [
     "LogDiagonal",
     "Permutation",
     "TraceReplay",
+    "record_trace",
 ]

@@ -36,10 +36,17 @@ class TestSimConfig:
             ("pq_capacity", 0),
             ("outbuf_capacity", -1),
             ("iterations", 0),
-            ("measure_slots", 0),
+            ("measure_slots", -1),
             ("warmup_slots", -1),
         ],
     )
     def test_invalid_values_rejected(self, field, value):
         with pytest.raises(ValueError):
             SimConfig(**{field: value})
+
+    def test_warmup_only_run_allowed(self):
+        # measure_slots=0 is a legal smoke configuration: nothing is
+        # measured, so downstream statistics are NaN (see
+        # tests/sim/test_simulator.py for the throughput guard).
+        config = SimConfig(warmup_slots=10, measure_slots=0)
+        assert config.total_slots == 10

@@ -1,5 +1,6 @@
 """Statistics primitives."""
 
+import doctest
 import math
 
 import numpy as np
@@ -7,12 +8,20 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.sim.metrics
 from repro.sim.metrics import (
     OnlineStats,
     ServiceMatrix,
     jain_index,
     latency_percentiles,
 )
+
+
+def test_docstring_examples():
+    """The module's docstring examples (merge semantics etc.) must run."""
+    outcome = doctest.testmod(repro.sim.metrics, extraglobs={"math": math})
+    assert outcome.attempted > 0
+    assert outcome.failed == 0
 
 
 class TestOnlineStats:

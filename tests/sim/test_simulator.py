@@ -45,6 +45,16 @@ class TestRunSimulation:
         result = run_simulation(quick_config(), "lcf_central", load=0.05)
         assert 1.0 <= result.mean_latency < 1.5
 
+    def test_warmup_only_run_has_nan_throughput(self):
+        # measure_slots=0 used to hit a ZeroDivisionError computing
+        # throughput; an empty measurement window is NaN, not a crash.
+        result = run_simulation(
+            quick_config(warmup_slots=50, measure_slots=0), "lcf_central", load=0.5
+        )
+        assert np.isnan(result.throughput)
+        assert np.isnan(result.mean_latency)
+        assert result.forwarded == 0 and result.offered == 0
+
     def test_deterministic_given_seed(self):
         first = run_simulation(quick_config(), "islip", load=0.7)
         second = run_simulation(quick_config(), "islip", load=0.7)

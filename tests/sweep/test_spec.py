@@ -1,0 +1,79 @@
+"""Sweep grid enumeration and seed derivation."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sweep import PAPER_LOADS, SweepSpec
+
+
+def small_spec(**kw):
+    defaults = dict(
+        schedulers=("lcf_central", "islip"),
+        loads=(0.3, 0.8),
+        config=SimConfig(n_ports=4, warmup_slots=20, measure_slots=200,
+                         voq_capacity=16, pq_capacity=32, seed=5),
+    )
+    defaults.update(kw)
+    return SweepSpec(**defaults)
+
+
+class TestEnumeration:
+    def test_point_count(self):
+        assert small_spec().n_points() == 4
+        assert small_spec(replicates=3).n_points() == 12
+        assert len(small_spec(replicates=3).points()) == 12
+
+    def test_scheduler_major_order(self):
+        points = small_spec(replicates=2).points()
+        labels = [(p.scheduler, p.load, p.replicate) for p in points[:4]]
+        assert labels == [
+            ("lcf_central", 0.3, 0), ("lcf_central", 0.3, 1),
+            ("lcf_central", 0.8, 0), ("lcf_central", 0.8, 1),
+        ]
+
+    def test_grid_keys_cover_cells_once(self):
+        spec = small_spec(replicates=4)
+        assert spec.grid_keys() == [
+            ("lcf_central", 0.3), ("lcf_central", 0.8),
+            ("islip", 0.3), ("islip", 0.8),
+        ]
+
+    def test_paper_defaults(self):
+        spec = SweepSpec()
+        assert spec.loads == PAPER_LOADS
+        assert len(PAPER_LOADS) == 20
+
+
+class TestSeeds:
+    def test_replicate_zero_uses_base_seed(self):
+        spec = small_spec()
+        assert spec.seed_for(0) == spec.config.seed
+        assert all(p.seed == spec.config.seed for p in spec.points())
+
+    def test_shard_seeds_are_distinct_and_derived(self):
+        spec = small_spec(replicates=4)
+        reps = [p for p in spec.points() if p.grid_key == ("islip", 0.8)]
+        assert [p.seed for p in reps] == [5, 6, 7, 8]
+
+    def test_point_config_only_changes_seed(self):
+        spec = small_spec(replicates=2)
+        point = spec.points()[1]
+        config = spec.point_config(point)
+        assert config.seed == spec.config.seed + 1
+        assert config.with_(seed=spec.config.seed) == spec.config
+
+    def test_replicate_zero_config_equals_base(self):
+        spec = small_spec()
+        assert spec.point_config(spec.points()[0]) == spec.config
+
+
+class TestValidation:
+    def test_zero_replicates_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(replicates=0)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(schedulers=())
+        with pytest.raises(ValueError):
+            small_spec(loads=())

@@ -1,0 +1,38 @@
+"""docs/API.md must reference only symbols that import from repro.
+
+Thin pytest wrapper around ``tools/check_docs_consistency.py`` (CI also
+runs the script directly) so doc drift fails the tier-1 suite.
+"""
+
+import importlib.util
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_docs_consistency.py"
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("check_docs_consistency", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_api_md_symbol_imports():
+    tool = load_tool()
+    failures = []
+    checked = 0
+    for section_module, symbol, line_number in tool.iter_referenced_symbols(
+        tool.API_MD.read_text()
+    ):
+        checked += 1
+        if not tool.resolves(section_module, symbol):
+            failures.append(f"API.md:{line_number}: {symbol} (section {section_module})")
+    assert checked > 50, "symbol extraction regressed — too few symbols found"
+    assert not failures, "unresolvable API.md references:\n" + "\n".join(failures)
+
+
+def test_checker_catches_bogus_symbol():
+    tool = load_tool()
+    assert not tool.resolves("repro.sim", "DefinitelyNotARealSymbol")
+    assert tool.resolves("repro.sim", "run_simulation")
+    assert tool.resolves("repro.sim", "repro.sim.fifo_switch.FIFOSwitch")

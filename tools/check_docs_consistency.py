@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Docs-consistency check: every public symbol referenced in
+``docs/API.md`` must actually import from ``repro``.
+
+The reference is organised as Markdown tables under section headers
+that name a module in backticks, e.g. ``## Simulation (`repro.sim`)``.
+For every table row whose first cell is a code span, this script
+extracts each symbol (stripping call signatures, splitting ``a / b``
+alternatives) and resolves it, in order, against
+
+1. the top-level ``repro`` namespace,
+2. the section's module,
+3. a fully dotted import path (``repro.sim.fifo_switch.FIFOSwitch``).
+
+Rows under sections with no module in the header (e.g. *Conventions*)
+and cells that are not plain identifiers (``lcf-sweep``) are skipped.
+
+Exit status 0 if everything resolves, 1 otherwise — CI runs this after
+the test suite so the API reference can never drift silently.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_MD = REPO_ROOT / "docs" / "API.md"
+
+SECTION = re.compile(r"^##\s+.*`(?P<module>repro[\w.]*)`")
+PLAIN_SECTION = re.compile(r"^##\s+")
+ROW = re.compile(r"^\|\s*`(?P<entry>[^`]+)`")
+IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+
+
+def iter_referenced_symbols(text: str):
+    """Yield (section_module, symbol, line_number) for every code-span
+    symbol in the reference tables."""
+    module = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = SECTION.match(line)
+        if match:
+            module = match.group("module")
+            continue
+        if PLAIN_SECTION.match(line):
+            module = None  # section without a module: rows are prose
+            continue
+        if module is None:
+            continue
+        match = ROW.match(line)
+        if not match:
+            continue
+        for part in match.group("entry").split("/"):
+            symbol = part.strip().split("(")[0].strip()
+            if symbol and IDENTIFIER.match(symbol):
+                yield module, symbol, number
+
+
+def resolves(section_module: str, symbol: str) -> bool:
+    """True if ``symbol`` imports from repro (see module docstring)."""
+    import repro
+
+    if "." not in symbol:
+        if hasattr(repro, symbol):
+            return True
+        try:
+            return hasattr(importlib.import_module(section_module), symbol)
+        except ImportError:
+            return False
+    try:
+        importlib.import_module(symbol)
+        return True
+    except ImportError:
+        pass
+    module_name, _, attribute = symbol.rpartition(".")
+    try:
+        return hasattr(importlib.import_module(module_name), attribute)
+    except ImportError:
+        return False
+
+
+def main() -> int:
+    src = REPO_ROOT / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    text = API_MD.read_text()
+    checked = 0
+    failures: list[str] = []
+    for section_module, symbol, line_number in iter_referenced_symbols(text):
+        checked += 1
+        if not resolves(section_module, symbol):
+            failures.append(
+                f"docs/API.md:{line_number}: `{symbol}` does not import "
+                f"from repro or {section_module}"
+            )
+
+    if failures:
+        print("\n".join(failures))
+        print(f"\n{len(failures)}/{checked} referenced symbols failed to resolve")
+        return 1
+    print(f"docs/API.md: all {checked} referenced symbols import cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
