@@ -1,0 +1,89 @@
+"""Observability overhead: the disabled path must be (nearly) free.
+
+The :mod:`repro.obs` contract is that a simulation with no tracer — or
+with a :class:`~repro.obs.tracer.NullTracer`, which resolves to the
+same code path — pays only the ``is not None`` guards in the switch's
+step loop. ``test_disabled_path_overhead_budget`` turns that into a
+hard assertion: the instrumented-but-disabled step loop must run within
+2% of the uninstrumented one (min-of-repeats timing, retried to ride
+out scheduler noise on shared CI hosts).
+
+The remaining benchmarks are informational: what tracing *costs when
+enabled*, for sizing trace windows before a big capture.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.baselines.registry import make_scheduler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, RingTracer
+from repro.sim.crossbar import InputQueuedSwitch
+from repro.traffic.bernoulli import BernoulliUniform
+
+#: Acceptance budget: disabled-path slowdown on the step loop.
+MAX_DISABLED_OVERHEAD = 1.02
+
+SLOTS = 400
+
+
+def _run_slots(tracer=None, metrics=None, slots: int = SLOTS) -> float:
+    """Seconds for ``slots`` steps of the 16-port bench crossbar."""
+    switch = InputQueuedSwitch(
+        BENCH_CONFIG,
+        make_scheduler("lcf_central_rr", 16),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    pattern = BernoulliUniform(16, 0.9, seed=1)
+    arrivals = [pattern.arrivals() for _ in range(slots)]
+    start = time.perf_counter()
+    for slot in range(slots):
+        switch.step(slot, arrivals[slot])
+    return time.perf_counter() - start
+
+
+def _min_of(repeats: int, tracer_factory) -> float:
+    return min(_run_slots(tracer=tracer_factory()) for _ in range(repeats))
+
+
+def test_disabled_path_overhead_budget():
+    """A NullTracer run must be within 2% of an uninstrumented run.
+
+    NullTracer resolves to ``tracer=None`` inside the switch, so the
+    two sides execute structurally identical code — the assertion
+    guards against anyone re-introducing per-event work on the
+    disabled path. Min-of-repeats timing with a few retries keeps the
+    check robust to transient load spikes.
+    """
+    for attempt in range(4):
+        baseline = _min_of(5, lambda: None)
+        disabled = _min_of(5, NullTracer)
+        ratio = disabled / baseline
+        if ratio <= MAX_DISABLED_OVERHEAD:
+            return
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        f"disabled-path instrumentation costs {ratio:.3f}x "
+        f"(budget {MAX_DISABLED_OVERHEAD}x)"
+    )
+
+
+def test_step_loop_uninstrumented(benchmark):
+    """Baseline: the bare step loop (reference for the ratios below)."""
+    benchmark.pedantic(_run_slots, rounds=3, iterations=1)
+
+
+def test_step_loop_ring_tracer(benchmark):
+    """Enabled-path cost with an in-memory RingTracer attached."""
+    benchmark.pedantic(
+        lambda: _run_slots(tracer=RingTracer()), rounds=3, iterations=1
+    )
+
+
+def test_step_loop_metrics_only(benchmark):
+    """Enabled-path cost with only a MetricsRegistry attached."""
+    benchmark.pedantic(
+        lambda: _run_slots(metrics=MetricsRegistry()), rounds=3, iterations=1
+    )

@@ -57,6 +57,14 @@ from repro.baselines.weighted import LQF, OCF
 from repro.core.multicast import MulticastCell, MulticastScheduler
 from repro.fabric import ClosNetwork, CrossbarFabric
 from repro.matching import hopcroft_karp, maximum_matching_size
+from repro.obs import (
+    JsonlTracer,
+    MatchingQualityProbe,
+    MetricsRegistry,
+    NullTracer,
+    RingTracer,
+    Tracer,
+)
 from repro.sim import (
     InputQueuedSwitch,
     OutputBufferedSwitch,
@@ -117,6 +125,13 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "merge_results",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "RingTracer",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "MatchingQualityProbe",
     # extensions
     "LQF",
     "OCF",

@@ -85,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk result cache; completed points are stored as they "
         "finish, so interrupted sweeps resume and re-runs are instant",
     )
+    parser.add_argument(
+        "--profile", metavar="DIR", default=None,
+        help="capture one cProfile stats file per computed point into DIR "
+        "(inspect with pstats/snakeviz); the run report adds per-worker "
+        "telemetry either way",
+    )
     parser.add_argument("--relative", action="store_true",
                         help="report latency relative to outbuf (Figure 12b)")
     parser.add_argument("--plot", action="store_true", help="ASCII plot")
@@ -140,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
         processes=args.workers,
         progress=not args.quiet,
         cache=args.cache_dir,
+        profile_dir=args.profile,
     )
 
     if args.csv:

@@ -20,6 +20,7 @@ working.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -67,12 +68,21 @@ class SweepResult:
     def relative_series(
         self, scheduler: str, reference: str = "outbuf"
     ) -> tuple[list[float], list[float]]:
-        """(loads, latency ratios to the reference) — a Figure 12b curve."""
-        loads = list(self.spec.loads)
-        ratios = []
-        for load in loads:
+        """(loads, latency ratios to the reference) — a Figure 12b curve.
+
+        Points whose ratio is NaN — a zero/NaN reference latency, e.g.
+        from a warmup-only or saturated reference run — are dropped
+        rather than plotted: the ASCII plot clips non-finite values to
+        the top row, which would misread as saturation.
+        """
+        loads: list[float] = []
+        ratios: list[float] = []
+        for load in self.spec.loads:
             ref = self.results[(reference, load)]
-            ratios.append(self.results[(scheduler, load)].relative_to(ref))
+            ratio = self.results[(scheduler, load)].relative_to(ref)
+            if math.isfinite(ratio):
+                loads.append(load)
+                ratios.append(ratio)
         return loads, ratios
 
     def rows(self) -> list[dict]:
@@ -117,6 +127,7 @@ def run_sweep(
     processes: int = 1,
     progress: bool = False,
     cache: ResultCache | str | Path | None = None,
+    profile_dir: str | Path | None = None,
 ) -> SweepResult:
     """Execute every point of the sweep grid via the parallel engine.
 
@@ -126,8 +137,11 @@ def run_sweep(
     is bit-identical to the historical sequential loop. ``cache`` (a
     directory path or :class:`ResultCache`) makes the sweep resumable:
     completed points are stored as they finish and reused on re-runs.
+    ``profile_dir`` dumps one cProfile stats file per computed point.
     """
-    run = ParallelRunner(workers=processes, cache=cache, progress=progress).run(spec)
+    run = ParallelRunner(
+        workers=processes, cache=cache, progress=progress, profile_dir=profile_dir
+    ).run(spec)
     return SweepResult(spec, dict(run.merged), report=run.report)
 
 

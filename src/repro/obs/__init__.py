@@ -1,0 +1,52 @@
+"""``repro.obs`` — the instrumentation layer.
+
+Zero-overhead-when-disabled tracing and metrics for the simulator,
+schedulers, and sweep engine:
+
+* :mod:`repro.obs.events` — the typed per-slot event vocabulary and its
+  schema (validated in CI by ``tools/check_trace_schema.py``);
+* :mod:`repro.obs.tracer` — event sinks (:class:`NullTracer`,
+  :class:`RingTracer`, :class:`JsonlTracer`);
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, and fixed-bucket histograms;
+* :mod:`repro.obs.chrome` — Chrome trace-event / Perfetto export;
+* :mod:`repro.obs.probe` — :class:`MatchingQualityProbe`, achieved
+  versus maximum matching size;
+* :mod:`repro.obs.cli` — the ``lcf-trace`` command.
+
+See ``docs/OBSERVABILITY.md`` for the end-to-end walkthrough.
+"""
+
+from repro.obs.chrome import to_chrome_trace, write_chrome_trace
+from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES, validate_event
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.probe import MatchingQualityProbe
+from repro.obs.tracer import (
+    JsonlTracer,
+    NullTracer,
+    RingTracer,
+    Tracer,
+    effective_tracer,
+    events_from_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "validate_event",
+    "Tracer",
+    "NullTracer",
+    "RingTracer",
+    "JsonlTracer",
+    "effective_tracer",
+    "events_from_jsonl",
+    "write_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MatchingQualityProbe",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

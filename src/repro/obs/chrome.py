@@ -1,0 +1,138 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+Converts a stream of :mod:`repro.obs.events` dicts into the Trace Event
+Format JSON that Perfetto and Chrome's tracing UI load directly. The
+mapping makes the switch's slot pipeline visible on a timeline:
+
+* ``forward`` → a complete ("X") span on the *input port's* track,
+  starting at the packet's generation slot and lasting its latency —
+  queueing delay is literally the bar length;
+* ``drop`` and ``rr_override`` → instant ("I") markers;
+* ``slot`` → counter ("C") tracks for matching size and outstanding
+  requests, so the matching-quality claim is a graph;
+* ``iteration`` → short spans on the scheduler track (one per
+  request/grant/accept round).
+
+One simulation slot maps to ``slot_us`` microseconds of trace time
+(default 1000, i.e. one slot = 1ms on the UI's scale).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.obs import events as ev
+
+#: Synthetic process ids for the trace UI's track grouping.
+PID_SWITCH = 1
+PID_SCHEDULER = 2
+
+#: Default trace-time microseconds per simulation slot.
+SLOT_US = 1000.0
+
+
+def to_chrome_trace(events: Iterable[dict], slot_us: float = SLOT_US) -> dict:
+    """Build a Trace Event Format document from emitted events."""
+    trace: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": PID_SWITCH,
+            "tid": 0,
+            "args": {"name": "switch (per-input tracks)"},
+        },
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": PID_SCHEDULER,
+            "tid": 0,
+            "args": {"name": "scheduler"},
+        },
+    ]
+    for event in events:
+        kind = event["type"]
+        ts = event["slot"] * slot_us
+        if kind == ev.FORWARD:
+            latency = event["latency"]
+            trace.append(
+                {
+                    "ph": "X",
+                    "name": f"pkt {event['input']}->{event['output']}",
+                    "cat": "forward",
+                    "pid": PID_SWITCH,
+                    "tid": event["input"],
+                    # The span covers the packet's life: generation slot
+                    # through the slot it crossed the fabric.
+                    "ts": (event["slot"] - latency + 1) * slot_us,
+                    "dur": latency * slot_us,
+                    "args": {"latency_slots": latency},
+                }
+            )
+        elif kind == ev.DROP:
+            trace.append(
+                {
+                    "ph": "I",
+                    "s": "t",
+                    "name": f"drop ->{event['output']}",
+                    "cat": "drop",
+                    "pid": PID_SWITCH,
+                    "tid": event["input"],
+                    "ts": ts,
+                }
+            )
+        elif kind == ev.RR_OVERRIDE:
+            trace.append(
+                {
+                    "ph": "I",
+                    "s": "t",
+                    "name": f"rr override ({event['input']},{event['output']})",
+                    "cat": "scheduler",
+                    "pid": PID_SCHEDULER,
+                    "tid": 0,
+                    "ts": ts,
+                }
+            )
+        elif kind == ev.ITERATION:
+            index = event["iteration"]
+            span = slot_us / 8.0
+            trace.append(
+                {
+                    "ph": "X",
+                    "name": f"iter {index}",
+                    "cat": "scheduler",
+                    "pid": PID_SCHEDULER,
+                    "tid": 1,
+                    "ts": ts + index * span,
+                    "dur": span,
+                    "args": {
+                        "grants": event["grants"],
+                        "accepts": event["accepts"],
+                    },
+                }
+            )
+        elif kind == ev.SLOT:
+            trace.append(
+                {
+                    "ph": "C",
+                    "name": "matching",
+                    "pid": PID_SCHEDULER,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {
+                        "matching_size": event["matching_size"],
+                        "outstanding_requests": event["requests"],
+                    },
+                }
+            )
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events: Iterable[dict], path: str | Path, slot_us: float = SLOT_US
+) -> int:
+    """Write the Chrome trace JSON for ``events``; returns event count."""
+    document = to_chrome_trace(events, slot_us=slot_us)
+    Path(path).write_text(json.dumps(document))
+    return len(document["traceEvents"])

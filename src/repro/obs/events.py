@@ -1,0 +1,184 @@
+"""Typed per-slot trace events and their schema.
+
+Every event is a plain JSON-serialisable dict with at least a ``slot``
+(the simulation time slot it happened in) and a ``type`` (one of the
+constants below). The constructor functions are the only places events
+are built, so the wire format and :data:`EVENT_SCHEMA` cannot drift
+apart — ``tools/check_trace_schema.py`` and the CI trace job validate
+emitted JSONL against exactly this schema.
+
+Event vocabulary (the Figure 11 slot pipeline plus scheduler decisions):
+
+``arrival``
+    A packet entered an input's packet queue (or was dropped — see
+    ``drop``).
+``drop``
+    An arrival found its packet queue full and was discarded.
+``enqueue``
+    The PQ head crossed the input link into its virtual output queue.
+``requests``
+    The per-input choice counts (the paper's NRQ vector) the scheduler
+    saw this slot, before any grant.
+``sched_step``
+    One per-output allocation step of the central LCF scheduler: which
+    output was scheduled, the round-robin row, who won, whether the RR
+    rule pre-empted LCF priority, the winner's choice count, and how
+    deep into the rotating tie-break chain the grant landed.
+``rr_override``
+    The round-robin position pre-empted LCF priority (a subset of
+    ``sched_step``, split out so override rates are one grep away).
+``iteration``
+    One request/grant/accept iteration of a distributed scheduler:
+    grants offered and accepts committed.
+``forward``
+    A matched VOQ head traversed the fabric (latency in slots,
+    inclusive of the transmission slot).
+``slot``
+    End-of-slot summary: matching size achieved and total outstanding
+    requests.
+"""
+
+from __future__ import annotations
+
+ARRIVAL = "arrival"
+DROP = "drop"
+ENQUEUE = "enqueue"
+REQUESTS = "requests"
+SCHED_STEP = "sched_step"
+RR_OVERRIDE = "rr_override"
+ITERATION = "iteration"
+FORWARD = "forward"
+SLOT = "slot"
+
+#: Required fields (beyond ``slot`` and ``type``) per event type, with
+#: the Python types a valid value may have. ``list`` fields must hold
+#: integers.
+EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
+    ARRIVAL: {"input": (int,), "output": (int,)},
+    DROP: {"input": (int,), "output": (int,)},
+    ENQUEUE: {"input": (int,), "output": (int,)},
+    REQUESTS: {"nrq": (list,), "total": (int,)},
+    SCHED_STEP: {
+        "output": (int,),
+        "rr_row": (int,),
+        "granted": (int,),
+        "rr_won": (bool,),
+        "choices": (int,),
+        "tie_depth": (int,),
+    },
+    RR_OVERRIDE: {"input": (int,), "output": (int,)},
+    ITERATION: {"iteration": (int,), "grants": (int,), "accepts": (int,)},
+    FORWARD: {"input": (int,), "output": (int,), "latency": (int,)},
+    SLOT: {"matching_size": (int,), "requests": (int,)},
+}
+
+EVENT_TYPES = frozenset(EVENT_SCHEMA)
+
+
+def arrival(slot: int, input: int, output: int) -> dict:
+    return {"slot": slot, "type": ARRIVAL, "input": input, "output": output}
+
+
+def drop(slot: int, input: int, output: int) -> dict:
+    return {"slot": slot, "type": DROP, "input": input, "output": output}
+
+
+def enqueue(slot: int, input: int, output: int) -> dict:
+    return {"slot": slot, "type": ENQUEUE, "input": input, "output": output}
+
+
+def requests(slot: int, nrq: list[int]) -> dict:
+    return {"slot": slot, "type": REQUESTS, "nrq": nrq, "total": sum(nrq)}
+
+
+def sched_step(
+    slot: int,
+    output: int,
+    rr_row: int,
+    granted: int,
+    rr_won: bool,
+    choices: int,
+    tie_depth: int,
+) -> dict:
+    return {
+        "slot": slot,
+        "type": SCHED_STEP,
+        "output": output,
+        "rr_row": rr_row,
+        "granted": granted,
+        "rr_won": rr_won,
+        "choices": choices,
+        "tie_depth": tie_depth,
+    }
+
+
+def rr_override(slot: int, input: int, output: int) -> dict:
+    return {"slot": slot, "type": RR_OVERRIDE, "input": input, "output": output}
+
+
+def iteration(slot: int, index: int, grants: int, accepts: int) -> dict:
+    return {
+        "slot": slot,
+        "type": ITERATION,
+        "iteration": index,
+        "grants": grants,
+        "accepts": accepts,
+    }
+
+
+def forward(slot: int, input: int, output: int, latency: int) -> dict:
+    return {
+        "slot": slot,
+        "type": FORWARD,
+        "input": input,
+        "output": output,
+        "latency": latency,
+    }
+
+
+def slot_summary(slot: int, matching_size: int, request_total: int) -> dict:
+    return {
+        "slot": slot,
+        "type": SLOT,
+        "matching_size": matching_size,
+        "requests": request_total,
+    }
+
+
+def validate_event(event: object) -> list[str]:
+    """Schema errors for one event (empty list = valid).
+
+    Checks: the event is a dict, carries an integer ``slot`` and a known
+    ``type``, has every field the type requires with an allowed value
+    type, and no fields beyond schema + slot + type. ``bool`` is not
+    accepted where ``int`` is required (bool is an int subclass in
+    Python, but not on the wire).
+    """
+    if not isinstance(event, dict):
+        return [f"event is not an object: {event!r}"]
+    errors: list[str] = []
+    slot = event.get("slot")
+    if not isinstance(slot, int) or isinstance(slot, bool) or slot < 0:
+        errors.append(f"bad slot: {slot!r}")
+    kind = event.get("type")
+    if kind not in EVENT_SCHEMA:
+        errors.append(f"unknown event type: {kind!r}")
+        return errors
+    fields = EVENT_SCHEMA[kind]
+    for name, allowed in fields.items():
+        if name not in event:
+            errors.append(f"{kind}: missing field {name!r}")
+            continue
+        value = event[name]
+        if bool not in allowed and isinstance(value, bool):
+            errors.append(f"{kind}.{name}: bool where {allowed} expected")
+        elif not isinstance(value, allowed):
+            errors.append(f"{kind}.{name}: {type(value).__name__} not in {allowed}")
+        elif isinstance(value, list) and not all(
+            isinstance(item, int) and not isinstance(item, bool) for item in value
+        ):
+            errors.append(f"{kind}.{name}: list items must be ints")
+    extras = set(event) - set(fields) - {"slot", "type"}
+    if extras:
+        errors.append(f"{kind}: unexpected fields {sorted(extras)}")
+    return errors

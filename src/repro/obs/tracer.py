@@ -1,0 +1,146 @@
+"""Tracer backends: where emitted events go.
+
+The contract is two attributes: ``enabled`` (checked once, at
+attachment time — see :func:`effective_tracer`) and ``emit(event)``.
+Instrumented components resolve the tracer to ``None`` when it is
+absent or disabled, so the disabled path costs a single ``is not None``
+check and never builds an event dict.
+
+Backends:
+
+* :class:`NullTracer` — permanently disabled; attach it anywhere with
+  zero effect (the property-tested guarantee).
+* :class:`RingTracer` — keeps the last ``capacity`` events in memory;
+  the default for interactive use and tests.
+* :class:`JsonlTracer` — appends one JSON object per line to a file;
+  the on-disk format validated by ``tools/check_trace_schema.py`` and
+  convertible to a Chrome/Perfetto trace with
+  :func:`repro.obs.chrome.to_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+
+class Tracer:
+    """Base tracer: enabled, events discarded. Subclasses store them."""
+
+    #: Whether instrumented components should emit to this tracer at all.
+    enabled: bool = True
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - overridden
+        """Record one event (a JSON-serialisable dict)."""
+
+    def close(self) -> None:
+        """Release any underlying resource (idempotent)."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: nothing is recorded, nothing is paid.
+
+    Attaching a ``NullTracer`` resolves to the no-tracer fast path at
+    construction time (:func:`effective_tracer`), so a simulation run
+    with one is *bit-identical* to a run with no tracer at all.
+    """
+
+    enabled = False
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class RingTracer(Tracer):
+    """In-memory ring buffer of the most recent ``capacity`` events."""
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, event: dict) -> None:
+        self.emitted += 1
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[dict]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def of_type(self, kind: str) -> list[dict]:
+        """Retained events of one type, oldest first."""
+        return [event for event in self._events if event["type"] == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlTracer(Tracer):
+    """Streams events to a file, one compact JSON object per line."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle: IO[str] | None = self.path.open("w")
+        self.emitted = 0
+
+    def emit(self, event: dict) -> None:
+        if self._handle is None:
+            raise ValueError(f"JsonlTracer({self.path}) is closed")
+        self._handle.write(json.dumps(event, separators=(",", ":")))
+        self._handle.write("\n")
+        self.emitted += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def effective_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Resolve a tracer argument to the hot-path handle.
+
+    Returns ``None`` for ``None`` or any tracer with ``enabled`` False,
+    so instrumented code guards every emission with one ``is not None``
+    check and a disabled tracer costs exactly as much as no tracer.
+    """
+    if tracer is None or not tracer.enabled:
+        return None
+    return tracer
+
+
+def events_from_jsonl(path: str | Path) -> Iterator[dict]:
+    """Parse a :class:`JsonlTracer` file back into event dicts."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def write_jsonl(events: Iterable[dict], path: str | Path) -> int:
+    """Write events to a JSONL file; returns the number written."""
+    count = 0
+    with Path(path).open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(event, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.baselines.registry import make_scheduler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.sim.config import SimConfig
 from repro.sim.crossbar import InputQueuedSwitch
 from repro.sim.fifo_switch import FIFOSwitch
@@ -56,8 +58,13 @@ class SimResult:
         return self.mean_latency / reference.mean_latency
 
     def row(self) -> dict[str, float | str | int]:
-        """Flat dict for CSV emission."""
-        return {
+        """Flat dict for CSV emission.
+
+        Includes ``loss_rate`` and one ``p<q>`` column per collected
+        percentile (e.g. ``p50``/``p90``/``p99``), matching what
+        ``docs/API.md`` documents for the Figure 12 exports.
+        """
+        row: dict[str, float | str | int] = {
             "scheduler": self.scheduler,
             "load": self.load,
             "mean_latency": self.mean_latency,
@@ -67,7 +74,11 @@ class SimResult:
             "offered": self.offered,
             "forwarded": self.forwarded,
             "dropped": self.dropped,
+            "loss_rate": self.loss_rate,
         }
+        for percentile in sorted(self.percentiles):
+            row[f"p{percentile:g}"] = self.percentiles[percentile]
+        return row
 
 
 def build_switch(
@@ -76,8 +87,15 @@ def build_switch(
     collect_service: bool = False,
     collect_latencies: bool = False,
     seed: int = 0,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ):
-    """Instantiate the switch model matching a registry scheduler name."""
+    """Instantiate the switch model matching a registry scheduler name.
+
+    ``tracer``/``metrics`` instrument the VOQ crossbar; the dedicated
+    ``fifo`` and ``outbuf`` switch models have no slot pipeline to
+    trace, so instrumentation is ignored for them.
+    """
     if scheduler_name == "outbuf":
         return OutputBufferedSwitch(config, collect_latencies=collect_latencies)
     if scheduler_name == "fifo":
@@ -90,6 +108,8 @@ def build_switch(
         scheduler,
         collect_service=collect_service,
         collect_latencies=collect_latencies,
+        tracer=tracer,
+        metrics=metrics,
     )
 
 
@@ -101,12 +121,19 @@ def run_simulation(
     traffic_kwargs: dict | None = None,
     collect_service: bool = False,
     collect_percentiles: bool = False,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SimResult:
     """Simulate one (scheduler, load) point of the Figure 12 grid.
 
     ``traffic`` is a registry name (default the paper's uniform
     Bernoulli) or an already-constructed pattern — in the latter case
     ``load`` is informational and the pattern's own state is used.
+
+    ``tracer`` and ``metrics`` attach the :mod:`repro.obs`
+    instrumentation to the switch (crossbar schedulers only; see
+    :func:`build_switch`). Statistics are unaffected either way — the
+    tracer only *observes* the run.
     """
     if isinstance(traffic, TrafficPattern):
         pattern = traffic
@@ -121,6 +148,8 @@ def run_simulation(
         collect_service=collect_service,
         collect_latencies=collect_percentiles,
         seed=config.seed,
+        tracer=tracer,
+        metrics=metrics,
     )
 
     for slot in range(config.total_slots):

@@ -24,7 +24,13 @@ thin client of this engine.
 
 from repro.sweep.cache import CACHE_VERSION, ResultCache, point_key
 from repro.sweep.merge import merge_results, stats_from_result
-from repro.sweep.runner import ParallelRunner, PointOutcome, SweepRun, SweepRunReport
+from repro.sweep.runner import (
+    ParallelRunner,
+    PointOutcome,
+    SweepRun,
+    SweepRunReport,
+    WorkerTelemetry,
+)
 from repro.sweep.spec import PAPER_LOADS, SweepPoint, SweepSpec
 
 __all__ = [
@@ -35,6 +41,7 @@ __all__ = [
     "PointOutcome",
     "SweepRun",
     "SweepRunReport",
+    "WorkerTelemetry",
     "ResultCache",
     "point_key",
     "CACHE_VERSION",

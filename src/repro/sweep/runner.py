@@ -20,13 +20,21 @@ statistics are independent of worker count and completion order — a
 are always merged in the same order, so there is not even a
 floating-point merge-order difference).
 
-Progress lines report completed/total points, the compute rate in
-points/sec, and an ETA over the remaining uncached points; the final
-:class:`SweepRunReport` adds per-scheduler wall-clock totals.
+Telemetry: beyond the per-point progress lines, the final
+:class:`SweepRunReport` carries structured counters — cache hit rate,
+per-scheduler compute seconds, per-worker :class:`WorkerTelemetry`
+(points and compute seconds per process), and the shard-merge wall
+clock. With ``profile_dir`` set, every computed point additionally runs
+under :mod:`cProfile` and dumps its stats file into that directory
+(load with ``pstats`` or ``snakeviz``) — the per-point answer to
+"where does the wall-clock go inside a sweep".
 """
 
 from __future__ import annotations
 
+import cProfile
+import os
+import re
 import time
 from dataclasses import dataclass, field
 from multiprocessing import Pool
@@ -40,18 +48,37 @@ from repro.sweep.merge import merge_results
 from repro.sweep.spec import SweepPoint, SweepSpec
 
 
-def _run_point(args: tuple[int, SimConfig, SweepPoint]) -> tuple[int, SimResult, float]:
+def _profile_path(profile_dir: str, index: int, point: SweepPoint) -> Path:
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", point.label())
+    return Path(profile_dir) / f"{index:04d}-{slug}.prof"
+
+
+def _run_point(
+    args: tuple[int, SimConfig, SweepPoint, str | None]
+) -> tuple[int, SimResult, float, int]:
     """Worker entry point (module level so it pickles for Pool)."""
-    index, config, point = args
+    index, config, point, profile_dir = args
     start = time.perf_counter()
-    result = run_simulation(
-        config,
-        point.scheduler,
-        point.load,
-        traffic=point.traffic,
-        traffic_kwargs=dict(point.traffic_kwargs),
-    )
-    return index, result, time.perf_counter() - start
+    if profile_dir is not None:
+        profiler = cProfile.Profile()
+        result = profiler.runcall(
+            run_simulation,
+            config,
+            point.scheduler,
+            point.load,
+            traffic=point.traffic,
+            traffic_kwargs=dict(point.traffic_kwargs),
+        )
+        profiler.dump_stats(_profile_path(profile_dir, index, point))
+    else:
+        result = run_simulation(
+            config,
+            point.scheduler,
+            point.load,
+            traffic=point.traffic,
+            traffic_kwargs=dict(point.traffic_kwargs),
+        )
+    return index, result, time.perf_counter() - start, os.getpid()
 
 
 @dataclass
@@ -64,6 +91,22 @@ class PointOutcome:
     cached: bool
     #: Compute seconds inside the worker (0.0 for cache hits).
     elapsed: float
+    #: OS pid of the worker process that computed it (0 for cache hits).
+    worker_pid: int = 0
+
+
+@dataclass
+class WorkerTelemetry:
+    """Per-worker-process accounting of one sweep execution."""
+
+    pid: int
+    points: int = 0
+    compute_seconds: float = 0.0
+
+    @property
+    def points_per_sec(self) -> float:
+        """Computed points per second of this worker's busy time."""
+        return self.points / self.compute_seconds if self.compute_seconds > 0 else 0.0
 
 
 @dataclass
@@ -78,23 +121,43 @@ class SweepRunReport:
     wall_clock: float
     #: Per-scheduler compute seconds (summed over that scheduler's points).
     scheduler_seconds: dict[str, float] = field(default_factory=dict)
+    #: Per-worker-process accounting, busiest first.
+    worker_stats: list[WorkerTelemetry] = field(default_factory=list)
+    #: Wall-clock seconds spent merging replicate shards.
+    merge_seconds: float = 0.0
+    #: Directory per-point cProfile stats were written to (None = off).
+    profile_dir: str | None = None
 
     @property
     def points_per_sec(self) -> float:
         """Computed points per wall-clock second (cache hits excluded)."""
         return self.computed / self.wall_clock if self.wall_clock > 0 else 0.0
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of points served from the cache."""
+        return self.cache_hits / self.total_points if self.total_points else 0.0
+
     def summary(self) -> str:
         lines = [
             f"sweep: {self.total_points} points "
-            f"({self.computed} computed, {self.cache_hits} cached) "
+            f"({self.computed} computed, {self.cache_hits} cached, "
+            f"{self.cache_hit_rate:.0%} hit rate) "
             f"in {self.wall_clock:.1f}s with {self.workers} worker(s) "
-            f"[{self.points_per_sec:.2f} pts/s]"
+            f"[{self.points_per_sec:.2f} pts/s, merge {self.merge_seconds * 1e3:.0f}ms]"
         ]
         for name, seconds in sorted(
             self.scheduler_seconds.items(), key=lambda item: -item[1]
         ):
             lines.append(f"  {name:<16} {seconds:8.1f}s compute")
+        for stats in self.worker_stats:
+            lines.append(
+                f"  worker {stats.pid:<8} {stats.points:4d} pts "
+                f"{stats.compute_seconds:8.1f}s busy "
+                f"[{stats.points_per_sec:.2f} pts/s]"
+            )
+        if self.profile_dir is not None:
+            lines.append(f"  per-point cProfile stats in {self.profile_dir}/")
         return "\n".join(lines)
 
 
@@ -108,6 +171,7 @@ class SweepRun:
     report: SweepRunReport
 
     def __post_init__(self) -> None:
+        merge_start = time.perf_counter()
         shards: dict[tuple[str, float], list[SimResult]] = {}
         for outcome in self.outcomes:
             shards.setdefault(outcome.point.grid_key, []).append(outcome.result)
@@ -116,6 +180,7 @@ class SweepRun:
         self.merged: dict[tuple[str, float], SimResult] = {
             key: merge_results(cell) for key, cell in shards.items()
         }
+        self.report.merge_seconds = time.perf_counter() - merge_start
 
     def get(self, scheduler: str, load: float) -> SimResult:
         """The merged result of one grid cell."""
@@ -141,6 +206,9 @@ class ParallelRunner:
     ``progress``
         ``True`` to print per-point progress lines, or a callable
         receiving each line (e.g. ``log.info``).
+    ``profile_dir``
+        directory to dump one cProfile stats file per computed point
+        into (created if missing); ``None`` disables profiling.
     """
 
     def __init__(
@@ -148,12 +216,14 @@ class ParallelRunner:
         workers: int = 1,
         cache: ResultCache | str | Path | None = None,
         progress: bool | Callable[[str], None] = False,
+        profile_dir: str | Path | None = None,
     ):
         self.workers = workers
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
         self.progress = progress
+        self.profile_dir = str(profile_dir) if profile_dir is not None else None
 
     def _emit(self, line: str) -> None:
         if callable(self.progress):
@@ -166,8 +236,10 @@ class ParallelRunner:
         total = len(points)
         outcomes: list[PointOutcome | None] = [None] * total
         keys: list[str | None] = [None] * total
-        pending: list[tuple[int, SimConfig, SweepPoint]] = []
+        pending: list[tuple[int, SimConfig, SweepPoint, str | None]] = []
         start = time.perf_counter()
+        if self.profile_dir is not None:
+            Path(self.profile_dir).mkdir(parents=True, exist_ok=True)
 
         for index, point in enumerate(points):
             if self.cache is not None:
@@ -176,19 +248,25 @@ class ParallelRunner:
                 if hit is not None:
                     outcomes[index] = PointOutcome(point, hit, cached=True, elapsed=0.0)
                     continue
-            pending.append((index, spec.point_config(point), point))
+            pending.append((index, spec.point_config(point), point, self.profile_dir))
 
         hits = total - len(pending)
         if hits:
             self._emit(f"cache: {hits}/{total} points already computed")
 
         completed = 0
+        workers: dict[int, WorkerTelemetry] = {}
 
-        def finish(index: int, result: SimResult, elapsed: float) -> None:
+        def finish(index: int, result: SimResult, elapsed: float, pid: int) -> None:
             nonlocal completed
             completed += 1
             point = points[index]
-            outcomes[index] = PointOutcome(point, result, cached=False, elapsed=elapsed)
+            outcomes[index] = PointOutcome(
+                point, result, cached=False, elapsed=elapsed, worker_pid=pid
+            )
+            telemetry = workers.setdefault(pid, WorkerTelemetry(pid))
+            telemetry.points += 1
+            telemetry.compute_seconds += elapsed
             if self.cache is not None and keys[index] is not None:
                 self.cache.put(keys[index], result)
             running = time.perf_counter() - start
@@ -206,10 +284,10 @@ class ParallelRunner:
                     finish(*_run_point(args))
             else:
                 with Pool(self.workers) as pool:
-                    for index, result, elapsed in pool.imap_unordered(
+                    for index, result, elapsed, pid in pool.imap_unordered(
                         _run_point, pending
                     ):
-                        finish(index, result, elapsed)
+                        finish(index, result, elapsed, pid)
 
         wall = time.perf_counter() - start
         scheduler_seconds: dict[str, float] = {}
@@ -223,6 +301,11 @@ class ParallelRunner:
             workers=self.workers,
             wall_clock=wall,
             scheduler_seconds=scheduler_seconds,
+            worker_stats=sorted(
+                workers.values(), key=lambda w: -w.compute_seconds
+            ),
+            profile_dir=self.profile_dir,
         )
+        run = SweepRun(spec=spec, outcomes=list(outcomes), report=report)
         self._emit(report.summary())
-        return SweepRun(spec=spec, outcomes=list(outcomes), report=report)
+        return run

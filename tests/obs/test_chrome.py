@@ -1,0 +1,77 @@
+"""Chrome trace-event export."""
+
+import json
+
+from repro.obs import events as ev
+from repro.obs.chrome import (
+    PID_SCHEDULER,
+    PID_SWITCH,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import RingTracer
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+
+
+def test_forward_becomes_complete_span():
+    events = [ev.forward(slot=9, input=2, output=5, latency=4)]
+    doc = to_chrome_trace(events, slot_us=1000.0)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 1
+    span = spans[0]
+    # Span covers generation slot 6 through departure slot 9.
+    assert span["ts"] == 6000.0
+    assert span["dur"] == 4000.0
+    assert span["tid"] == 2
+    assert span["pid"] == PID_SWITCH
+
+
+def test_instants_and_counters():
+    events = [
+        ev.drop(1, 0, 3),
+        ev.rr_override(2, 1, 1),
+        ev.slot_summary(3, 4, 9),
+    ]
+    doc = to_chrome_trace(events)
+    phases = sorted(e["ph"] for e in doc["traceEvents"] if e["ph"] != "M")
+    assert phases == ["C", "I", "I"]
+    counter = next(e for e in doc["traceEvents"] if e["ph"] == "C")
+    assert counter["args"] == {"matching_size": 4, "outstanding_requests": 9}
+
+
+def test_iterations_subdivide_the_slot():
+    events = [ev.iteration(5, index, 3, 2) for index in range(3)]
+    doc = to_chrome_trace(events, slot_us=800.0)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    starts = [s["ts"] for s in spans]
+    assert starts == sorted(starts)
+    assert all(s["pid"] == PID_SCHEDULER for s in spans)
+    assert all(s["ts"] + s["dur"] <= 5 * 800.0 + 800.0 for s in spans)
+
+
+def test_metadata_names_both_processes():
+    doc = to_chrome_trace([])
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert {e["pid"] for e in meta} == {PID_SWITCH, PID_SCHEDULER}
+
+
+def test_untranslated_events_are_skipped():
+    doc = to_chrome_trace([ev.arrival(0, 1, 2), ev.requests(0, [1, 1])])
+    assert all(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+def test_write_chrome_trace_from_real_run(tmp_path):
+    config = SimConfig(n_ports=4, warmup_slots=0, measure_slots=80, seed=5)
+    tracer = RingTracer()
+    run_simulation(config, "lcf_central_rr", load=0.9, tracer=tracer)
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(tracer.events, path)
+    assert count > 2
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert len(doc["traceEvents"]) == count
+    # Perfetto requires ph/ts fields on every non-metadata record.
+    for record in doc["traceEvents"]:
+        assert "ph" in record
+        assert record["ph"] == "M" or "ts" in record

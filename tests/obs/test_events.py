@@ -1,0 +1,73 @@
+"""Event constructors and schema validation."""
+
+import pytest
+
+from repro.obs import events as ev
+
+
+class TestConstructorsMatchSchema:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            ev.arrival(0, 1, 2),
+            ev.drop(3, 0, 0),
+            ev.enqueue(1, 2, 3),
+            ev.requests(5, [1, 0, 2, 3]),
+            ev.sched_step(2, 1, 0, 3, True, 2, 3),
+            ev.sched_step(2, 1, 0, -1, False, -1, -1),
+            ev.rr_override(9, 4, 4),
+            ev.iteration(7, 0, 4, 3),
+            ev.forward(10, 2, 5, 4),
+            ev.slot_summary(11, 12, 40),
+        ],
+    )
+    def test_every_constructor_validates(self, event):
+        assert ev.validate_event(event) == []
+
+    def test_every_schema_type_has_coverage(self):
+        built = {
+            ev.arrival(0, 0, 0)["type"],
+            ev.drop(0, 0, 0)["type"],
+            ev.enqueue(0, 0, 0)["type"],
+            ev.requests(0, [])["type"],
+            ev.sched_step(0, 0, 0, 0, False, 0, 0)["type"],
+            ev.rr_override(0, 0, 0)["type"],
+            ev.iteration(0, 0, 0, 0)["type"],
+            ev.forward(0, 0, 0, 1)["type"],
+            ev.slot_summary(0, 0, 0)["type"],
+        }
+        assert built == set(ev.EVENT_TYPES)
+
+    def test_requests_totals_nrq(self):
+        assert ev.requests(4, [2, 0, 3])["total"] == 5
+
+
+class TestValidation:
+    def test_unknown_type_rejected(self):
+        errors = ev.validate_event({"slot": 1, "type": "warp"})
+        assert any("unknown event type" in e for e in errors)
+
+    def test_missing_field_rejected(self):
+        event = ev.forward(1, 2, 3, 4)
+        del event["latency"]
+        assert any("missing field" in e for e in ev.validate_event(event))
+
+    def test_extra_field_rejected(self):
+        event = ev.arrival(1, 2, 3)
+        event["color"] = "red"
+        assert any("unexpected fields" in e for e in ev.validate_event(event))
+
+    def test_negative_slot_rejected(self):
+        assert any("bad slot" in e for e in ev.validate_event(ev.arrival(-1, 0, 0)))
+
+    def test_bool_not_accepted_as_int(self):
+        event = ev.arrival(1, True, 0)
+        assert any("bool" in e for e in ev.validate_event(event))
+
+    def test_non_dict_rejected(self):
+        assert ev.validate_event([1, 2]) != []
+
+    def test_non_int_list_items_rejected(self):
+        event = ev.requests(1, [1, 2])
+        event["nrq"] = [1, "two"]
+        assert any("list items" in e for e in ev.validate_event(event))

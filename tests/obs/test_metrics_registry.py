@@ -1,0 +1,119 @@
+"""Counters, gauges, histograms, and the registry contract."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge()
+        assert math.isnan(gauge.value)
+        gauge.set(3.0)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogram:
+    def test_buckets_are_upper_inclusive(self):
+        hist = Histogram(buckets=[1, 2, 4])
+        for value in (0, 1, 2, 3, 4):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 2]
+        assert hist.overflow == 0
+        hist.observe(5)
+        assert hist.overflow == 1
+
+    def test_streaming_stats(self):
+        hist = Histogram(buckets=[10])
+        for value in (2, 4, 6):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 12
+        assert hist.mean == 4
+        assert hist.min == 2
+        assert hist.max == 6
+
+    def test_empty_histogram_stats_are_nan(self):
+        hist = Histogram(buckets=[1])
+        assert math.isnan(hist.mean)
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert math.isnan(snap["min"]) and math.isnan(snap["max"])
+
+    def test_snapshot_shape(self):
+        hist = Histogram(buckets=[1, 2])
+        hist.observe(1)
+        hist.observe(9)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"1": 1, "2": 0}
+        assert snap["overflow"] == 1
+
+    def test_render_mentions_every_bucket(self):
+        hist = Histogram(buckets=[1, 2])
+        hist.observe(1)
+        hist.observe(3)
+        text = hist.render(width=10)
+        assert "<= 1" in text and "<= 2" in text and "> 2" in text
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=[])
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("grants").inc()
+        registry.counter("grants").inc()
+        assert registry.counter("grants").value == 2
+        assert len(registry) == 1
+        assert "grants" in registry
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x", buckets=[1])
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=[1, 2])
+        registry.histogram("lat", buckets=[2, 1])  # same edges after sort
+        with pytest.raises(ValueError):
+            registry.histogram("lat", buckets=[1, 2, 3])
+
+    def test_names_sorted_and_get(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+        assert isinstance(registry.get("a"), Counter)
+        assert registry.get("missing") is None
+
+    def test_snapshot_is_flat_and_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("forwarded").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("size", buckets=[1, 2]).observe(2)
+        snap = registry.snapshot()
+        assert snap["forwarded"] == 3
+        assert snap["depth"] == 2.0
+        assert snap["size"]["count"] == 1

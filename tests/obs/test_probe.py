@@ -1,0 +1,70 @@
+"""MatchingQualityProbe: transparency and scoring."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import make_scheduler
+from repro.core.lcf_central import LCFCentral
+from repro.obs.probe import MatchingQualityProbe
+
+
+def random_requests(rng, n=4, density=0.5):
+    return rng.random((n, n)) < density
+
+
+def test_probe_is_transparent():
+    rng = np.random.default_rng(11)
+    plain = LCFCentral(4)
+    probed = MatchingQualityProbe(LCFCentral(4))
+    for _ in range(50):
+        matrix = random_requests(rng)
+        assert np.array_equal(plain.schedule(matrix), probed.schedule(matrix.copy()))
+
+
+def test_efficiency_is_one_for_maximum_matcher():
+    # Central LCF with sequential allocation is maximal but not always
+    # maximum; on a diagonal-only matrix it trivially achieves maximum.
+    probe = MatchingQualityProbe(LCFCentral(3))
+    probe.schedule(np.eye(3, dtype=bool))
+    assert probe.slots == 1
+    assert probe.achieved_total == probe.maximum_total == 3
+    assert probe.efficiency == 1.0
+    assert probe.mean_matching == probe.mean_maximum == 3.0
+
+
+def test_efficiency_bounded_by_one():
+    rng = np.random.default_rng(3)
+    probe = MatchingQualityProbe(make_scheduler("pim", 6, iterations=1, seed=0))
+    for _ in range(40):
+        probe.schedule(random_requests(rng, n=6))
+    assert 0.0 < probe.efficiency <= 1.0
+    assert probe.mean_matching <= probe.mean_maximum
+
+
+def test_rejects_weight_schedulers():
+    with pytest.raises(ValueError):
+        MatchingQualityProbe(make_scheduler("lqf", 4))
+
+
+def test_trace_recording_passes_through():
+    inner = LCFCentral(4)
+    probe = MatchingQualityProbe(inner)
+    probe.record_trace = True
+    assert inner.record_trace
+    probe.schedule(np.eye(4, dtype=bool))
+    assert probe.last_trace is inner.last_trace
+    assert len(probe.last_trace) == 4
+
+
+def test_rr_position_passes_through():
+    dist_rr = make_scheduler("lcf_dist_rr", 4)
+    assert MatchingQualityProbe(dist_rr).rr_position == dist_rr.rr_position
+    assert MatchingQualityProbe(LCFCentral(4)).rr_position is None
+
+
+def test_reset_clears_scores():
+    probe = MatchingQualityProbe(LCFCentral(3))
+    probe.schedule(np.eye(3, dtype=bool))
+    probe.reset()
+    assert probe.slots == 0
+    assert np.isnan(probe.efficiency)

@@ -1,0 +1,129 @@
+"""End-to-end switch instrumentation: events and metrics from real runs."""
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import RingTracer
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+
+
+def traced_run(scheduler, *, slots=200, ports=4, load=0.8, seed=3):
+    config = SimConfig(
+        n_ports=ports, warmup_slots=0, measure_slots=slots, seed=seed
+    )
+    tracer = RingTracer()
+    metrics = MetricsRegistry()
+    result = run_simulation(
+        config, scheduler, load=load, tracer=tracer, metrics=metrics
+    )
+    return result, tracer, metrics
+
+
+class TestEventStream:
+    def test_all_events_schema_valid(self):
+        _, tracer, _ = traced_run("lcf_central_rr")
+        assert tracer.events
+        for event in tracer.events:
+            assert ev.validate_event(event) == []
+
+    def test_slots_are_nondecreasing(self):
+        _, tracer, _ = traced_run("lcf_dist_rr")
+        slots = [event["slot"] for event in tracer.events]
+        assert slots == sorted(slots)
+
+    def test_one_slot_summary_per_slot(self):
+        _, tracer, _ = traced_run("lcf_central", slots=150)
+        summaries = tracer.of_type(ev.SLOT)
+        assert [e["slot"] for e in summaries] == list(range(150))
+
+    def test_forward_events_match_forwarded_count(self):
+        # warmup=0, so the measurement window covers every traced slot.
+        result, tracer, _ = traced_run("lcf_central")
+        assert len(tracer.of_type(ev.FORWARD)) == result.forwarded
+
+    def test_forward_latency_consistent(self):
+        _, tracer, _ = traced_run("islip")
+        for event in tracer.of_type(ev.FORWARD):
+            assert event["latency"] >= 1
+            assert event["latency"] <= event["slot"] + 1
+
+    def test_central_lcf_emits_per_step_decisions(self):
+        _, tracer, _ = traced_run("lcf_central")
+        steps = tracer.of_type(ev.SCHED_STEP)
+        assert steps
+        # One allocation step per output per slot.
+        per_slot = {}
+        for event in steps:
+            per_slot.setdefault(event["slot"], []).append(event["output"])
+        for outputs in per_slot.values():
+            assert sorted(outputs) == [0, 1, 2, 3]
+
+    def test_distributed_lcf_emits_iterations(self):
+        _, tracer, _ = traced_run("lcf_dist")
+        iterations = tracer.of_type(ev.ITERATION)
+        assert iterations
+        assert all(0 <= e["iteration"] < 4 for e in iterations)
+        assert not tracer.of_type(ev.SCHED_STEP)
+
+    @pytest.mark.parametrize("scheduler", ["lcf_central_rr", "lcf_dist_rr"])
+    def test_rr_variants_emit_overrides(self, scheduler):
+        _, tracer, _ = traced_run(scheduler, load=0.95)
+        assert tracer.of_type(ev.RR_OVERRIDE)
+
+    @pytest.mark.parametrize("scheduler", ["lcf_central", "lcf_dist", "islip"])
+    def test_non_rr_schedulers_never_override(self, scheduler):
+        _, tracer, _ = traced_run(scheduler, load=0.95)
+        assert not tracer.of_type(ev.RR_OVERRIDE)
+
+
+class TestMetrics:
+    def test_slot_and_grant_accounting(self):
+        result, _, metrics = traced_run("lcf_central_rr", slots=180)
+        assert metrics.get("slots").value == 180
+        # Every grant forwards exactly one packet (warmup=0).
+        assert metrics.get("grants").value == metrics.get("forwarded").value
+        assert metrics.get("forwarded").value == result.forwarded
+
+    def test_matching_histogram_covers_every_slot(self):
+        _, _, metrics = traced_run("pim", slots=120)
+        hist = metrics.get("matching_size")
+        assert hist.count == 120
+        assert 0 <= hist.min and hist.max <= 4
+
+    def test_choice_counts_recorded_for_lcf(self):
+        _, _, metrics = traced_run("lcf_central")
+        hist = metrics.get("choice_count")
+        assert hist.count > 0
+        assert hist.min >= 1  # a granted input had at least its own request
+
+    def test_tie_depth_bounded_by_ports(self):
+        _, _, metrics = traced_run("lcf_central_rr")
+        hist = metrics.get("tie_break_depth")
+        assert hist.count > 0
+        assert 0 <= hist.min and hist.max < 4
+
+    def test_metrics_without_tracer(self):
+        config = SimConfig(n_ports=4, warmup_slots=0, measure_slots=100, seed=1)
+        metrics = MetricsRegistry()
+        result = run_simulation(config, "lcf_central", load=0.7, metrics=metrics)
+        assert metrics.get("slots").value == 100
+        assert metrics.get("forwarded").value == result.forwarded
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        _, _, metrics = traced_run("lcf_dist_rr", slots=60)
+        json.dumps(metrics.snapshot())  # must not raise
+
+
+class TestSpecialSwitches:
+    @pytest.mark.parametrize("name", ["fifo", "outbuf"])
+    def test_instrumentation_ignored(self, name):
+        # Dedicated switch models have no VOQ pipeline; tracer/metrics
+        # are documented as ignored, not an error.
+        config = SimConfig(n_ports=4, warmup_slots=0, measure_slots=50, seed=1)
+        tracer = RingTracer()
+        run_simulation(config, name, load=0.5, tracer=tracer)
+        assert len(tracer) == 0

@@ -1,0 +1,87 @@
+"""Tracer backends: null, ring, and JSONL semantics."""
+
+import json
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.tracer import (
+    JsonlTracer,
+    NullTracer,
+    RingTracer,
+    effective_tracer,
+    events_from_jsonl,
+    write_jsonl,
+)
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        tracer.emit(ev.arrival(0, 0, 0))  # must not raise, must not store
+
+    def test_resolves_to_no_tracer(self):
+        assert effective_tracer(NullTracer()) is None
+        assert effective_tracer(None) is None
+
+    def test_enabled_tracers_resolve_to_themselves(self):
+        ring = RingTracer()
+        assert effective_tracer(ring) is ring
+
+
+class TestRingTracer:
+    def test_records_in_order(self):
+        tracer = RingTracer()
+        tracer.emit(ev.arrival(0, 1, 2))
+        tracer.emit(ev.forward(1, 1, 2, 2))
+        assert [e["type"] for e in tracer.events] == ["arrival", "forward"]
+        assert len(tracer) == 2
+
+    def test_capacity_evicts_oldest(self):
+        tracer = RingTracer(capacity=3)
+        for slot in range(5):
+            tracer.emit(ev.slot_summary(slot, 0, 0))
+        assert tracer.emitted == 5
+        assert [e["slot"] for e in tracer.events] == [2, 3, 4]
+
+    def test_of_type_filters(self):
+        tracer = RingTracer()
+        tracer.emit(ev.arrival(0, 0, 0))
+        tracer.emit(ev.slot_summary(0, 1, 1))
+        assert len(tracer.of_type("slot")) == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingTracer(capacity=0)
+
+
+class TestJsonlTracer:
+    def test_round_trips_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(ev.arrival(0, 1, 2))
+            tracer.emit(ev.requests(1, [2, 0]))
+        events = list(events_from_jsonl(path))
+        assert events == [ev.arrival(0, 1, 2), ev.requests(1, [2, 0])]
+
+    def test_lines_are_compact_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(ev.arrival(0, 1, 2))
+        line = path.read_text().strip()
+        assert json.loads(line)["type"] == "arrival"
+        assert ": " not in line  # compact separators
+
+    def test_emit_after_close_raises(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()  # idempotent
+        with pytest.raises(ValueError):
+            tracer.emit(ev.arrival(0, 0, 0))
+
+    def test_write_jsonl_helper(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        events = [ev.arrival(0, 0, 1), ev.drop(0, 0, 1)]
+        assert write_jsonl(events, path) == 2
+        assert list(events_from_jsonl(path)) == events

@@ -1,0 +1,74 @@
+"""Sweep-runner profiling hooks and worker telemetry."""
+
+import pstats
+
+from repro.sim.config import SimConfig
+from repro.sweep.runner import ParallelRunner, WorkerTelemetry
+from repro.sweep.spec import SweepSpec
+
+
+def small_spec(seed=1):
+    return SweepSpec(
+        schedulers=("lcf_central", "islip"),
+        loads=(0.5, 0.8),
+        config=SimConfig(
+            n_ports=4, warmup_slots=10, measure_slots=60, seed=seed
+        ),
+    )
+
+
+def test_profile_dir_gets_one_stats_file_per_point(tmp_path):
+    profile_dir = tmp_path / "prof"
+    run = ParallelRunner(profile_dir=profile_dir).run(small_spec())
+    files = sorted(profile_dir.glob("*.prof"))
+    assert len(files) == run.report.computed == 4
+    # Filenames carry the point label, so a directory listing is a map.
+    assert any("lcf_central" in f.name for f in files)
+    # Every dump is loadable with the stdlib profiler tooling.
+    stats = pstats.Stats(str(files[0]))
+    assert stats.total_calls > 0
+
+
+def test_profiling_off_by_default(tmp_path):
+    run = ParallelRunner().run(small_spec())
+    assert run.report.profile_dir is None
+    assert not list(tmp_path.iterdir())
+
+
+def test_worker_telemetry_accounts_every_computed_point():
+    run = ParallelRunner().run(small_spec())
+    stats = run.report.worker_stats
+    assert stats and all(isinstance(w, WorkerTelemetry) for w in stats)
+    assert sum(w.points for w in stats) == run.report.computed
+    assert all(w.pid > 0 for w in stats)
+    assert all(w.points_per_sec >= 0 for w in stats)
+
+
+def test_merge_seconds_and_hit_rate_populated(tmp_path):
+    cache = tmp_path / "cache"
+    first = ParallelRunner(cache=cache).run(small_spec())
+    assert first.report.merge_seconds >= 0.0
+    assert first.report.cache_hit_rate == 0.0
+    second = ParallelRunner(cache=cache).run(small_spec())
+    assert second.report.cache_hit_rate == 1.0
+    assert second.report.worker_stats == []  # nothing computed
+
+
+def test_summary_mentions_telemetry(tmp_path):
+    profile_dir = tmp_path / "prof"
+    run = ParallelRunner(profile_dir=profile_dir).run(small_spec())
+    text = run.report.summary()
+    assert "hit rate" in text
+    assert "merge" in text
+    assert "worker" in text
+    assert str(profile_dir) in text
+
+
+def test_profiled_results_match_unprofiled(tmp_path):
+    # cProfile wraps the call but must not change the simulation.
+    spec = small_spec(seed=5)
+    plain = ParallelRunner().run(spec)
+    profiled = ParallelRunner(profile_dir=tmp_path / "p").run(spec)
+    for key, result in plain.merged.items():
+        assert profiled.merged[key].mean_latency == result.mean_latency
+        assert profiled.merged[key].forwarded == result.forwarded

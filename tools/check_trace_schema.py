@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate a ``lcf-trace`` JSONL event trace against the event schema.
+
+Checks, line by line:
+
+1. every line is a JSON object;
+2. every event passes :func:`repro.obs.events.validate_event` (known
+   type, required fields with the right primitive types, no extras);
+3. ``slot`` values are non-decreasing (the trace is slot-ordered);
+4. the trace contains at least one ``slot`` summary event.
+
+Exit status 0 if the trace is schema-valid, 1 otherwise. CI runs this
+against a freshly traced simulation so the on-disk format and
+``EVENT_SCHEMA`` can never drift apart.
+
+Usage: ``python tools/check_trace_schema.py trace.jsonl``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def check_trace(path: Path) -> tuple[int, list[str]]:
+    """Validate one JSONL trace; returns (events checked, errors)."""
+    from repro.obs.events import SLOT, validate_event
+
+    errors: list[str] = []
+    counts: Counter[str] = Counter()
+    last_slot = -1
+    checked = 0
+    with path.open() as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            checked += 1
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{path}:{number}: not JSON ({exc})")
+                continue
+            for problem in validate_event(event):
+                errors.append(f"{path}:{number}: {problem}")
+            slot = event.get("slot")
+            if isinstance(slot, int):
+                if slot < last_slot:
+                    errors.append(
+                        f"{path}:{number}: slot went backwards "
+                        f"({last_slot} -> {slot})"
+                    )
+                last_slot = slot
+            if isinstance(event, dict):
+                counts[str(event.get("type"))] += 1
+    if checked == 0:
+        errors.append(f"{path}: empty trace")
+    elif counts.get(SLOT, 0) == 0:
+        errors.append(f"{path}: no per-slot summary events")
+    return checked, errors
+
+
+def main(argv: list[str]) -> int:
+    src = REPO_ROOT / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    if len(argv) != 1:
+        print("usage: check_trace_schema.py TRACE.jsonl", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    if not path.exists():
+        print(f"{path}: no such file", file=sys.stderr)
+        return 2
+
+    checked, errors = check_trace(path)
+    if errors:
+        for error in errors[:20]:
+            print(error)
+        if len(errors) > 20:
+            print(f"... and {len(errors) - 20} more")
+        print(f"\n{len(errors)} schema violations in {checked} events")
+        return 1
+    print(f"{path}: all {checked} events schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
