@@ -1,0 +1,138 @@
+"""Resilience benchmark: degradation curves under control-plane faults.
+
+The paper evaluates LCF on a healthy fabric; this benchmark asks how
+gracefully each scheduler degrades when the fabric is not healthy:
+
+* **message loss** — request/grant/accept messages dropped with uniform
+  probability. The distributed LCF protocol retries lost handshakes on
+  later iterations, so throughput should degrade smoothly rather than
+  collapse.
+* **port availability** — duty-cycled port outages averaging a target
+  availability, exercising the degraded-mode masking, fault/recovery
+  events, and backlog drain.
+
+Both axes run through the parallel sweep engine (set
+``LCF_BENCH_WORKERS=4`` to fan out; a ``LCF_BENCH_CACHE`` directory
+enables the result cache). The zero-fault point of each curve is
+asserted equal to a plain fault-free run — the resilience harness adds
+*nothing* to the healthy path, so its baseline reproduces the Figure 12
+numbers exactly.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import BENCH_CONFIG, once
+from repro.analysis.tables import format_table
+from repro.faults.harness import run_availability_sweep, run_loss_sweep
+from repro.sim.simulator import run_simulation
+
+LOSS_SCHEDULERS = ("lcf_dist", "lcf_dist_rr", "pim", "islip")
+LOSS_GRID = (0.0, 0.1, 0.3, 0.5)
+AVAIL_SCHEDULERS = ("lcf_central_rr", "lcf_dist_rr", "islip")
+AVAIL_GRID = (1.0, 0.95, 0.9, 0.8)
+LOAD = 0.8
+
+
+def _workers() -> int:
+    return int(os.environ.get("LCF_BENCH_WORKERS", "1"))
+
+
+def _cache() -> str | None:
+    return os.environ.get("LCF_BENCH_CACHE") or None
+
+
+def test_message_loss_degradation(benchmark):
+    """Throughput/latency versus control-message loss probability."""
+
+    def report():
+        result = run_loss_sweep(
+            LOSS_SCHEDULERS,
+            rates=LOSS_GRID,
+            load=LOAD,
+            config=BENCH_CONFIG,
+            processes=_workers(),
+            cache=_cache(),
+        )
+        print()
+        print(result.plot(metric="throughput"))
+        print()
+        print(result.plot(metric="mean_latency"))
+        print()
+        print(
+            format_table(
+                result.rows(),
+                columns=[
+                    "scheduler",
+                    "message_loss",
+                    "throughput",
+                    "mean_latency",
+                    "delivery",
+                    "throughput_vs_baseline",
+                ],
+            )
+        )
+        print()
+        print(result.summary())
+        return result
+
+    result = once(benchmark, report)
+
+    # The zero-fault point must reproduce the plain (Figure 12 style)
+    # run bit for bit — the fault layer is absent, not merely inert.
+    for name in LOSS_SCHEDULERS:
+        plain = run_simulation(BENCH_CONFIG, name, LOAD)
+        assert result.get(name, 0.0).row() == plain.row(), name
+
+    # Graceful degradation: every scheduler still moves traffic at 50%
+    # loss, and throughput is monotone non-increasing within noise.
+    for name in LOSS_SCHEDULERS:
+        curve = [result.get(name, rate).throughput for rate in LOSS_GRID]
+        assert curve[-1] > 0.2, (name, curve)
+        assert curve[-1] <= curve[0] + 0.02, (name, curve)
+
+
+def test_port_availability_degradation(benchmark):
+    """Throughput/latency versus mean port availability."""
+
+    def report():
+        result = run_availability_sweep(
+            AVAIL_SCHEDULERS,
+            availabilities=AVAIL_GRID,
+            load=LOAD,
+            config=BENCH_CONFIG,
+            processes=_workers(),
+            cache=_cache(),
+        )
+        print()
+        print(result.plot(metric="throughput"))
+        print()
+        print(
+            format_table(
+                result.rows(),
+                columns=[
+                    "scheduler",
+                    "availability",
+                    "throughput",
+                    "mean_latency",
+                    "delivery",
+                    "throughput_vs_baseline",
+                ],
+            )
+        )
+        print()
+        print(result.summary())
+        return result
+
+    result = once(benchmark, report)
+
+    for name in AVAIL_SCHEDULERS:
+        plain = run_simulation(BENCH_CONFIG, name, LOAD)
+        assert result.get(name, 1.0).row() == plain.row(), name
+        # At 80% availability throughput cannot exceed what the duty
+        # cycle leaves, but the backlog drain should keep it close.
+        degraded = result.get(name, 0.8).throughput
+        healthy = result.get(name, 1.0).throughput
+        assert degraded <= healthy + 0.02, name
+        assert degraded > 0.4 * healthy, (name, degraded, healthy)

@@ -56,6 +56,7 @@ from repro.core import (
 from repro.baselines.weighted import LQF, OCF
 from repro.core.multicast import MulticastCell, MulticastScheduler
 from repro.fabric import ClosNetwork, CrossbarFabric
+from repro.faults import FaultInjector, FaultPlan
 from repro.matching import hopcroft_karp, maximum_matching_size
 from repro.obs import (
     JsonlTracer,
@@ -125,6 +126,9 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "merge_results",
+    # fault injection
+    "FaultPlan",
+    "FaultInjector",
     # observability
     "Tracer",
     "NullTracer",

@@ -9,7 +9,12 @@ mapping makes the switch's slot pipeline visible on a timeline:
   queueing delay is literally the bar length;
 * ``drop`` and ``rr_override`` → instant ("I") markers;
 * ``slot`` → counter ("C") tracks for matching size and outstanding
-  requests, so the matching-quality claim is a graph;
+  requests, so the matching-quality claim is a graph; when the event
+  carries the per-input VOQ occupancy vector, each input also gets a
+  ``voq in<i>`` counter track — Section 6.3 buffer leveling (and
+  fault-induced queue buildup) as a timeline graph;
+* ``fault`` / ``recovery`` → instant ("I") markers on the switch
+  process, so outages line up visually with the queue-depth counters;
 * ``iteration`` → short spans on the scheduler track (one per
   request/grant/accept round).
 
@@ -124,6 +129,37 @@ def to_chrome_trace(events: Iterable[dict], slot_us: float = SLOT_US) -> dict:
                         "matching_size": event["matching_size"],
                         "outstanding_requests": event["requests"],
                     },
+                }
+            )
+            # One counter track per input keeps the series separately
+            # zoomable; a single multi-series counter would stack them.
+            for port, depth in enumerate(event.get("voq", ())):
+                trace.append(
+                    {
+                        "ph": "C",
+                        "name": f"voq in{port}",
+                        "pid": PID_SWITCH,
+                        "tid": port,
+                        "ts": ts,
+                        "args": {"queued": depth},
+                    }
+                )
+        elif kind in (ev.FAULT, ev.RECOVERY):
+            label = "down" if kind == ev.FAULT else "up"
+            trace.append(
+                {
+                    "ph": "I",
+                    "s": "p",
+                    "name": f"port {event['port']} {event['side']} {label}",
+                    "cat": "fault",
+                    "pid": PID_SWITCH,
+                    "tid": event["port"],
+                    "ts": ts,
+                    "args": (
+                        {"backlog_slots": event["backlog_slots"]}
+                        if kind == ev.RECOVERY
+                        else {}
+                    ),
                 }
             )
     return {"traceEvents": trace, "displayTimeUnit": "ms"}

@@ -34,8 +34,18 @@ Event vocabulary (the Figure 11 slot pipeline plus scheduler decisions):
     A matched VOQ head traversed the fabric (latency in slots,
     inclusive of the transmission slot).
 ``slot``
-    End-of-slot summary: matching size achieved and total outstanding
-    requests.
+    End-of-slot summary: matching size achieved, total outstanding
+    requests, and the per-input VOQ occupancy vector (the Section 6.3
+    buffer-leveling signal, exported as Perfetto counter tracks).
+``fault``
+    A fault-plan port outage began on one side of a port (``side`` is
+    ``input``/``output``; injected by :mod:`repro.faults`).
+``recovery``
+    A previously down port side came back up and — for inputs — worked
+    off the backlog accumulated while down (``backlog_slots`` counts
+    the slots from port-up until the input's queues shrank back to
+    their at-fault level; 0 for outputs and for inputs with no
+    backlog).
 """
 
 from __future__ import annotations
@@ -49,6 +59,8 @@ RR_OVERRIDE = "rr_override"
 ITERATION = "iteration"
 FORWARD = "forward"
 SLOT = "slot"
+FAULT = "fault"
+RECOVERY = "recovery"
 
 #: Required fields (beyond ``slot`` and ``type``) per event type, with
 #: the Python types a valid value may have. ``list`` fields must hold
@@ -69,7 +81,9 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     RR_OVERRIDE: {"input": (int,), "output": (int,)},
     ITERATION: {"iteration": (int,), "grants": (int,), "accepts": (int,)},
     FORWARD: {"input": (int,), "output": (int,), "latency": (int,)},
-    SLOT: {"matching_size": (int,), "requests": (int,)},
+    SLOT: {"matching_size": (int,), "requests": (int,), "voq": (list,)},
+    FAULT: {"port": (int,), "side": (str,)},
+    RECOVERY: {"port": (int,), "side": (str,), "backlog_slots": (int,)},
 }
 
 EVENT_TYPES = frozenset(EVENT_SCHEMA)
@@ -136,12 +150,29 @@ def forward(slot: int, input: int, output: int, latency: int) -> dict:
     }
 
 
-def slot_summary(slot: int, matching_size: int, request_total: int) -> dict:
+def slot_summary(
+    slot: int, matching_size: int, request_total: int, voq: list[int] | None = None
+) -> dict:
     return {
         "slot": slot,
         "type": SLOT,
         "matching_size": matching_size,
         "requests": request_total,
+        "voq": voq if voq is not None else [],
+    }
+
+
+def fault(slot: int, port: int, side: str) -> dict:
+    return {"slot": slot, "type": FAULT, "port": port, "side": side}
+
+
+def recovery(slot: int, port: int, side: str, backlog_slots: int = 0) -> dict:
+    return {
+        "slot": slot,
+        "type": RECOVERY,
+        "port": port,
+        "side": side,
+        "backlog_slots": backlog_slots,
     }
 
 

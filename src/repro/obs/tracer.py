@@ -79,7 +79,17 @@ class RingTracer(Tracer):
         return list(self._events)
 
     def of_type(self, kind: str) -> list[dict]:
-        """Retained events of one type, oldest first."""
+        """Retained events of one type, oldest first.
+
+        ``kind`` must be a schema event type — a typo'd kind raises
+        instead of silently returning an empty list.
+        """
+        from repro.obs.events import EVENT_TYPES
+
+        if kind not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {kind!r}; known: {', '.join(sorted(EVENT_TYPES))}"
+            )
         return [event for event in self._events if event["type"] == kind]
 
     def clear(self) -> None:

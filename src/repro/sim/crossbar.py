@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.base import Scheduler
 from repro.core.lcf_central import StepTrace
 from repro.core.lcf_dist import IterationTrace
+from repro.faults.injector import FaultInjector
 from repro.obs import events as ev
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, effective_tracer
@@ -53,6 +54,7 @@ class InputQueuedSwitch:
         collect_latencies: bool = False,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        injector: FaultInjector | None = None,
     ):
         if scheduler.n != config.n_ports:
             raise ValueError(
@@ -93,6 +95,35 @@ class InputQueuedSwitch:
         #: (i, j) when the distributed RR overlay will pre-match this slot.
         self._pending_rr: tuple[int, int] | None = None
 
+        # A plan with no topology faults resolves to no injector here —
+        # the switch only consumes port/link outages (message faults live
+        # in the repro.faults.channel scheduler wrappers), so a null or
+        # message-only plan is bit-identical to running uninstrumented.
+        if injector is not None and not injector.plan.has_topology_faults:
+            injector = None
+        self.injector = injector
+        #: Fault accounting (kept even without a MetricsRegistry so the
+        #: resilience harness can read degradation off the switch).
+        self.fault_events = 0
+        self.recovery_events = 0
+        self.degraded_slots = 0
+        self.masked_grants = 0
+        if injector is not None:
+            self._down_in_prev = np.zeros(n, dtype=bool)
+            self._down_out_prev = np.zeros(n, dtype=bool)
+            # Input-side recovery clock: backlog level when the port
+            # failed, and the port-up slot the drain is measured from.
+            self._backlog_at_fault = np.zeros(n, dtype=np.int64)
+            self._recovering_since = np.full(n, -1, dtype=np.int64)
+            if metrics is not None:
+                self._m_faults = metrics.counter("fault_events")
+                self._m_recoveries = metrics.counter("recovery_events")
+                self._m_degraded = metrics.counter("degraded_slots")
+                self._m_masked = metrics.counter("masked_grants")
+                self._m_recovery_time = metrics.histogram(
+                    "recovery_time", (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+                )
+
     @property
     def n(self) -> int:
         return self.config.n_ports
@@ -109,7 +140,18 @@ class InputQueuedSwitch:
     def step(self, slot: int, arrivals: np.ndarray) -> np.ndarray:
         """Advance one time slot; returns the schedule that was applied."""
         observing = self._observing
-        # 1. Generation into PQs.
+        injector = self.injector
+        if injector is not None:
+            down_in = injector.down_inputs(slot)
+            self._track_faults(slot, down_in, injector.down_outputs(slot))
+            if injector.degraded(slot):
+                self.degraded_slots += 1
+                if self.metrics is not None:
+                    self._m_degraded.inc()
+
+        # 1. Generation into PQs. Hosts keep sending while their ingress
+        #    is down — the backlog builds in the PQ, which is exactly the
+        #    queue buildup the recovery-time metric measures.
         for i in range(self.n):
             dst = arrivals[i]
             if dst != NO_ARRIVAL:
@@ -120,7 +162,10 @@ class InputQueuedSwitch:
                     self._record_arrival(slot, i, int(dst), accepted)
 
         # 2. Injection: one packet per input link per slot, head blocking.
+        #    A down input's link carries nothing.
         for i, pq in enumerate(self.pqs):
+            if injector is not None and down_in[i]:
+                continue
             head = pq.head()
             if head is not None and self.voqs.has_space(i, head[0]):
                 dst, t_generated = pq.pop()
@@ -130,18 +175,40 @@ class InputQueuedSwitch:
 
         # 3. Scheduling. Weight-based schedulers (LQF/OCF) receive the
         #    state their priority rule ranks by; everyone else sees the
-        #    boolean request matrix.
+        #    boolean request matrix. Requests over faulted crosspoints
+        #    are masked out before the scheduler ever sees them.
+        mask = injector.request_mask(slot) if injector is not None else None
         if observing:
-            request_total = self._record_requests(slot)
+            request_total = self._record_requests(slot, mask)
         weight_kind = getattr(self.scheduler, "weight_kind", None)
         if weight_kind == "occupancy":
-            schedule = self.scheduler.schedule_weighted(self.voqs.occupancy)
+            weights = self.voqs.occupancy
+            if mask is not None:
+                weights = np.where(mask, weights, 0)
+            schedule = self.scheduler.schedule_weighted(weights)
         elif weight_kind == "hol_age":
             heads = self.voqs.head_timestamps()
             ages = np.where(heads >= 0, slot - heads + 1, 0)
+            if mask is not None:
+                ages = np.where(mask, ages, 0)
             schedule = self.scheduler.schedule_weighted(ages)
         else:
-            schedule = self.scheduler.schedule(self.voqs.request_matrix())
+            matrix = self.voqs.request_matrix()
+            if mask is not None:
+                matrix &= mask
+            schedule = self.scheduler.schedule(matrix)
+        if mask is not None:
+            # Defensive fabric gate: whatever the scheduler emitted, no
+            # grant crosses a faulted crosspoint. With the masking above
+            # this should never fire for a well-behaved scheduler, but
+            # it is the invariant the resilience property tests rely on.
+            for i in range(self.n):
+                j = schedule[i]
+                if j != NO_GRANT and not mask[i, j]:
+                    schedule[i] = NO_GRANT
+                    self.masked_grants += 1
+                    if self.metrics is not None:
+                        self._m_masked.inc()
         if observing:
             self._record_decisions(slot, schedule, request_total)
 
@@ -163,6 +230,60 @@ class InputQueuedSwitch:
             self.service.record(schedule)
         return schedule
 
+    # -- fault tracking (only reached with an injector attached) --
+
+    def _input_backlog(self, port: int) -> int:
+        """Packets queued anywhere behind one input (PQ + its VOQs)."""
+        return len(self.pqs[port]) + int(self.voqs.occupancy[port].sum())
+
+    def _track_faults(
+        self, slot: int, down_in: np.ndarray, down_out: np.ndarray
+    ) -> None:
+        """Emit fault/recovery events on port state transitions.
+
+        An output side recovers the moment it comes back up. An input
+        side recovers once its backlog has drained to the level it had
+        when the fault hit — ``backlog_slots`` on the recovery event
+        (and the ``recovery_time`` histogram) is how long that took.
+        """
+        tracer, metrics = self.tracer, self.metrics
+        for port in range(self.n):
+            for side, now, prev in (
+                ("input", down_in, self._down_in_prev),
+                ("output", down_out, self._down_out_prev),
+            ):
+                if now[port] and not prev[port]:
+                    self.fault_events += 1
+                    if metrics is not None:
+                        self._m_faults.inc()
+                    if tracer is not None:
+                        tracer.emit(ev.fault(slot, port, side))
+                    if side == "input":
+                        self._backlog_at_fault[port] = self._input_backlog(port)
+                        self._recovering_since[port] = -1
+                elif prev[port] and not now[port]:
+                    if side == "output":
+                        self.recovery_events += 1
+                        if metrics is not None:
+                            self._m_recoveries.inc()
+                            self._m_recovery_time.observe(0)
+                        if tracer is not None:
+                            tracer.emit(ev.recovery(slot, port, side, 0))
+                    else:
+                        self._recovering_since[port] = slot
+        self._down_in_prev = down_in.copy()
+        self._down_out_prev = down_out.copy()
+        for port in np.flatnonzero(self._recovering_since >= 0):
+            if self._input_backlog(port) <= self._backlog_at_fault[port]:
+                backlog_slots = slot - int(self._recovering_since[port])
+                self._recovering_since[port] = -1
+                self.recovery_events += 1
+                if metrics is not None:
+                    self._m_recoveries.inc()
+                    self._m_recovery_time.observe(backlog_slots)
+                if tracer is not None:
+                    tracer.emit(ev.recovery(slot, int(port), "input", backlog_slots))
+
     # -- observability (only reached with a tracer or metrics attached) --
 
     def _record_arrival(self, slot: int, input: int, output: int, accepted: bool) -> None:
@@ -175,9 +296,15 @@ class InputQueuedSwitch:
             if not accepted:
                 self._m_dropped.inc()
 
-    def _record_requests(self, slot: int) -> int:
-        """Emit the NRQ (choice-count) vector; returns total requests."""
+    def _record_requests(self, slot: int, mask: np.ndarray | None = None) -> int:
+        """Emit the NRQ (choice-count) vector; returns total requests.
+
+        With a fault mask attached, the vector counts the requests the
+        scheduler will actually see — faulted crosspoints excluded.
+        """
         matrix = self.voqs.request_matrix()
+        if mask is not None:
+            matrix &= mask
         nrq = matrix.sum(axis=1)
         if self.tracer is not None:
             self.tracer.emit(ev.requests(slot, [int(x) for x in nrq]))
@@ -240,7 +367,8 @@ class InputQueuedSwitch:
 
         matching_size = int(np.count_nonzero(schedule != NO_GRANT))
         if tracer is not None:
-            tracer.emit(ev.slot_summary(slot, matching_size, request_total))
+            voq = [int(x) for x in self.voqs.occupancy.sum(axis=1)]
+            tracer.emit(ev.slot_summary(slot, matching_size, request_total, voq))
         if metrics is not None:
             self._m_slots.inc()
             self._m_grants.inc(matching_size)

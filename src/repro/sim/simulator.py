@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.baselines.registry import make_scheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.sim.config import SimConfig
@@ -89,20 +91,44 @@ def build_switch(
     seed: int = 0,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    injector: FaultInjector | None = None,
 ):
     """Instantiate the switch model matching a registry scheduler name.
 
     ``tracer``/``metrics`` instrument the VOQ crossbar; the dedicated
     ``fifo`` and ``outbuf`` switch models have no slot pipeline to
     trace, so instrumentation is ignored for them.
+
+    ``injector`` attaches a fault-injection layer: topology faults are
+    enforced by the crossbar, and message-loss faults swap the scheduler
+    for its :mod:`repro.faults.channel` degraded-mode counterpart. The
+    dedicated switch models have neither a control plane nor per-port
+    request paths, so faults there are a configuration error rather than
+    a silently perfect run.
     """
-    if scheduler_name == "outbuf":
-        return OutputBufferedSwitch(config, collect_latencies=collect_latencies)
-    if scheduler_name == "fifo":
+    if scheduler_name in ("outbuf", "fifo"):
+        if injector is not None:
+            raise ValueError(
+                f"fault injection is not supported by the dedicated "
+                f"{scheduler_name!r} switch model"
+            )
+        if scheduler_name == "outbuf":
+            return OutputBufferedSwitch(config, collect_latencies=collect_latencies)
         return FIFOSwitch(config, collect_latencies=collect_latencies)
-    scheduler = make_scheduler(
-        scheduler_name, config.n_ports, iterations=config.iterations, seed=seed
-    )
+    if injector is not None and injector.has_message_faults:
+        from repro.faults.channel import make_lossy_scheduler
+
+        scheduler = make_lossy_scheduler(
+            scheduler_name,
+            config.n_ports,
+            injector,
+            iterations=config.iterations,
+            seed=seed,
+        )
+    else:
+        scheduler = make_scheduler(
+            scheduler_name, config.n_ports, iterations=config.iterations, seed=seed
+        )
     return InputQueuedSwitch(
         config,
         scheduler,
@@ -110,6 +136,7 @@ def build_switch(
         collect_latencies=collect_latencies,
         tracer=tracer,
         metrics=metrics,
+        injector=injector,
     )
 
 
@@ -123,6 +150,7 @@ def run_simulation(
     collect_percentiles: bool = False,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    faults: FaultPlan | dict | tuple | None = None,
 ) -> SimResult:
     """Simulate one (scheduler, load) point of the Figure 12 grid.
 
@@ -134,6 +162,13 @@ def run_simulation(
     instrumentation to the switch (crossbar schedulers only; see
     :func:`build_switch`). Statistics are unaffected either way — the
     tracer only *observes* the run.
+
+    ``faults`` injects failures: a :class:`repro.faults.FaultPlan`, or
+    its ``to_spec()``/dict form as carried by sweep points. The fault
+    randomness is keyed by ``config.seed``, so replicates see different
+    concrete failures the same way they see different traffic. A plan
+    with nothing in it resolves to no injector at all — bit-identical
+    to a fault-free run (property-tested).
     """
     if isinstance(traffic, TrafficPattern):
         pattern = traffic
@@ -141,6 +176,12 @@ def run_simulation(
         pattern = make_traffic(
             traffic, config.n_ports, load, seed=config.seed, **(traffic_kwargs or {})
         )
+
+    injector = None
+    if faults is not None:
+        plan = faults if isinstance(faults, FaultPlan) else FaultPlan.from_spec(faults)
+        if not plan.is_null:
+            injector = FaultInjector(plan, config.n_ports, seed=config.seed)
 
     switch = build_switch(
         config,
@@ -150,6 +191,7 @@ def run_simulation(
         seed=config.seed,
         tracer=tracer,
         metrics=metrics,
+        injector=injector,
     )
 
     for slot in range(config.total_slots):

@@ -51,6 +51,12 @@ def point_key(config: SimConfig, point: SweepPoint) -> str:
         "traffic": point.traffic,
         "traffic_kwargs": sorted([key, repr(value)] for key, value in point.traffic_kwargs),
     }
+    if point.fault_kwargs:
+        # Folded in only when non-empty so fault-free points keep the
+        # cache keys they had before fault injection existed.
+        payload["faults"] = sorted(
+            [key, repr(value)] for key, value in point.fault_kwargs
+        )
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

@@ -59,6 +59,7 @@ def _run_point(
     """Worker entry point (module level so it pickles for Pool)."""
     index, config, point, profile_dir = args
     start = time.perf_counter()
+    faults = dict(point.fault_kwargs) or None
     if profile_dir is not None:
         profiler = cProfile.Profile()
         result = profiler.runcall(
@@ -68,6 +69,7 @@ def _run_point(
             point.load,
             traffic=point.traffic,
             traffic_kwargs=dict(point.traffic_kwargs),
+            faults=faults,
         )
         profiler.dump_stats(_profile_path(profile_dir, index, point))
     else:
@@ -77,6 +79,7 @@ def _run_point(
             point.load,
             traffic=point.traffic,
             traffic_kwargs=dict(point.traffic_kwargs),
+            faults=faults,
         )
     return index, result, time.perf_counter() - start, os.getpid()
 

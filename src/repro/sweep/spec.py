@@ -34,6 +34,11 @@ class SweepPoint:
     seed: int
     #: 0-based replicate index within the (scheduler, load) cell.
     replicate: int
+    #: Flattened :meth:`repro.faults.FaultPlan.to_spec` pairs; empty for
+    #: a fault-free run (the default, and the historical wire format —
+    #: fault-free points hash to the same cache keys as before this
+    #: field existed).
+    fault_kwargs: tuple[tuple[str, object], ...] = ()
 
     @property
     def grid_key(self) -> tuple[str, float]:
@@ -58,6 +63,9 @@ class SweepSpec:
     #: runs under seed ``config.seed + r`` and shards are merged with
     #: :func:`repro.sweep.merge.merge_results`.
     replicates: int = 1
+    #: Fault plan applied to every point of the grid, as the flat
+    #: ``FaultPlan.to_spec()`` pairs (keeps the spec hashable/frozen).
+    fault_kwargs: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.replicates < 1:
@@ -86,6 +94,7 @@ class SweepSpec:
                 traffic_kwargs=self.traffic_kwargs,
                 seed=self.seed_for(replicate),
                 replicate=replicate,
+                fault_kwargs=self.fault_kwargs,
             )
             for name in self.schedulers
             for load in self.loads

@@ -1,0 +1,63 @@
+"""The zero-fault property: an empty FaultPlan is *absent*, not inert.
+
+For every registry scheduler, ``run_simulation(..., faults=FaultPlan())``
+must be bit-identical — statistics AND event traces — to running with no
+``faults`` argument at all. This is what keeps resilience-sweep baselines
+cache-compatible with plain Figure 12 sweeps.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.registry import SPECIAL_SWITCH_NAMES, available_schedulers
+from repro.faults import FaultPlan, PortDutyCycle
+from repro.obs.tracer import RingTracer
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+
+CROSSBAR_SCHEDULERS = tuple(
+    name for name in available_schedulers() if name not in SPECIAL_SWITCH_NAMES
+)
+
+CONFIG = SimConfig(n_ports=4, warmup_slots=10, measure_slots=80, seed=6)
+
+
+def _traced_run(faults):
+    tracer = RingTracer(1 << 16)
+    result = run_simulation(CONFIG, "lcf_dist_rr", 0.7, tracer=tracer, faults=faults)
+    return result, tracer.events
+
+
+@pytest.mark.parametrize("scheduler", CROSSBAR_SCHEDULERS)
+def test_empty_plan_bit_identical_for_every_scheduler(scheduler):
+    plain = run_simulation(CONFIG, scheduler, 0.7)
+    faulted = run_simulation(CONFIG, scheduler, 0.7, faults=FaultPlan())
+    assert plain.row() == faulted.row()
+
+
+def test_empty_plan_produces_identical_traces():
+    plain_result, plain_events = _traced_run(None)
+    null_result, null_events = _traced_run(FaultPlan())
+    assert plain_result.row() == null_result.row()
+    assert plain_events == null_events
+
+
+def test_zero_down_duty_cycle_is_also_null():
+    plan = FaultPlan(port_duty=tuple(PortDutyCycle(p, 100, 0) for p in range(4)))
+    plain = run_simulation(CONFIG, "islip", 0.7)
+    faulted = run_simulation(CONFIG, "islip", 0.7, faults=plan)
+    assert plain.row() == faulted.row()
+
+
+@given(
+    scheduler=st.sampled_from(CROSSBAR_SCHEDULERS),
+    load=st.floats(0.1, 1.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_empty_plan_property(scheduler, load, seed):
+    config = SimConfig(n_ports=4, warmup_slots=5, measure_slots=40, seed=seed)
+    plain = run_simulation(config, scheduler, load)
+    for faults in (FaultPlan(), {}, ()):
+        assert run_simulation(config, scheduler, load, faults=faults).row() == plain.row()

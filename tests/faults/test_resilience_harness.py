@@ -1,0 +1,82 @@
+"""Resilience harness: sweeps, caching, and baseline reproduction."""
+
+import math
+
+from repro.faults.harness import run_availability_sweep, run_loss_sweep
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+from repro.sweep.runner import ParallelRunner
+from repro.sweep.spec import SweepSpec
+
+CONFIG = SimConfig(n_ports=4, warmup_slots=10, measure_slots=80, seed=2)
+SCHEDULERS = ("lcf_dist_rr", "islip")
+
+
+def test_loss_sweep_covers_grid_and_degrades():
+    report = run_loss_sweep(SCHEDULERS, rates=(0.0, 0.5), load=0.7, config=CONFIG)
+    assert report.axis == "message_loss"
+    assert set(report.results) == {
+        (name, rate) for name in SCHEDULERS for rate in (0.0, 0.5)
+    }
+    for name in SCHEDULERS:
+        assert report.degradation(name, 0.0) == 1.0
+        assert 0.0 < report.degradation(name, 0.5) <= 1.001
+
+
+def test_zero_loss_point_reproduces_plain_run():
+    report = run_loss_sweep(SCHEDULERS, rates=(0.0, 0.3), load=0.7, config=CONFIG)
+    for name in SCHEDULERS:
+        plain = run_simulation(CONFIG, name, 0.7)
+        assert report.get(name, 0.0).row() == plain.row()
+
+
+def test_zero_fault_point_shares_cache_with_plain_sweep(tmp_path):
+    """The cache-key property: a zero-loss resilience point hashes to
+    the same key as a plain sweep point, so the baseline is served from
+    a Figure 12 sweep's cache without recomputation."""
+    cache = tmp_path / "cache"
+    plain_spec = SweepSpec(schedulers=SCHEDULERS, loads=(0.7,), config=CONFIG)
+    ParallelRunner(cache=cache).run(plain_spec)
+
+    report = run_loss_sweep(
+        SCHEDULERS, rates=(0.0,), load=0.7, config=CONFIG, cache=cache
+    )
+    assert report.sweep_reports[0].cache_hits == len(SCHEDULERS)
+    assert report.sweep_reports[0].computed == 0
+
+
+def test_faulted_points_cache_and_resume(tmp_path):
+    cache = tmp_path / "cache"
+    kwargs = dict(rates=(0.0, 0.4), load=0.7, config=CONFIG, cache=cache)
+    first = run_loss_sweep(SCHEDULERS, **kwargs)
+    assert sum(r.computed for r in first.sweep_reports) == 4
+    second = run_loss_sweep(SCHEDULERS, **kwargs)
+    assert sum(r.cache_hits for r in second.sweep_reports) == 4
+    assert sum(r.computed for r in second.sweep_reports) == 0
+    for key, result in first.results.items():
+        assert second.results[key].row() == result.row()
+
+
+def test_availability_sweep():
+    report = run_availability_sweep(
+        ("lcf_central_rr",), availabilities=(1.0, 0.8), load=0.5,
+        config=CONFIG, period=40,
+    )
+    assert report.axis == "availability"
+    assert report.baseline_value == 1.0
+    plain = run_simulation(CONFIG, "lcf_central_rr", 0.5)
+    assert report.get("lcf_central_rr", 1.0).row() == plain.row()
+    degraded = report.get("lcf_central_rr", 0.8)
+    assert degraded.throughput <= plain.throughput + 0.02
+
+
+def test_report_rendering():
+    report = run_loss_sweep(SCHEDULERS, rates=(0.0, 0.5), load=0.7, config=CONFIG)
+    assert "resilience" in report.summary()
+    assert "message loss" in report.plot()
+    rows = report.rows()
+    assert len(rows) == 4
+    assert all(math.isfinite(row["delivery"]) for row in rows)
+    assert report.to_csv().count("\n") >= 4
+    xs, ys = report.series("islip", "mean_latency")
+    assert xs == [0.0, 0.5] and len(ys) == 2

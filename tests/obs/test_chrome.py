@@ -50,6 +50,45 @@ def test_iterations_subdivide_the_slot():
     assert all(s["ts"] + s["dur"] <= 5 * 800.0 + 800.0 for s in spans)
 
 
+def test_voq_occupancy_becomes_per_input_counter_tracks():
+    events = [ev.slot_summary(3, 2, 5, voq=[4, 0, 7, 1])]
+    doc = to_chrome_trace(events, slot_us=1000.0)
+    tracks = [
+        e
+        for e in doc["traceEvents"]
+        if e["ph"] == "C" and e["name"].startswith("voq in")
+    ]
+    assert len(tracks) == 4
+    assert [t["args"]["queued"] for t in tracks] == [4, 0, 7, 1]
+    assert all(t["pid"] == PID_SWITCH for t in tracks)
+    assert {t["tid"] for t in tracks} == {0, 1, 2, 3}
+    assert all(t["ts"] == 3000.0 for t in tracks)
+
+
+def test_slot_summary_without_voq_has_no_voq_tracks():
+    doc = to_chrome_trace([ev.slot_summary(3, 4, 9)])
+    assert not any(
+        e["name"].startswith("voq in")
+        for e in doc["traceEvents"]
+        if e["ph"] == "C"
+    )
+
+
+def test_fault_and_recovery_become_instant_markers():
+    events = [
+        ev.fault(10, 2, "input"),
+        ev.recovery(25, 2, "input", backlog_slots=15),
+    ]
+    doc = to_chrome_trace(events, slot_us=1000.0)
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "I"]
+    assert len(instants) == 2
+    down, up = instants
+    assert "down" in down["name"] and "up" in up["name"]
+    assert down["cat"] == up["cat"] == "fault"
+    assert up["args"]["backlog_slots"] == 15
+    assert down["ts"] == 10000.0 and up["ts"] == 25000.0
+
+
 def test_metadata_names_both_processes():
     doc = to_chrome_trace([])
     meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]

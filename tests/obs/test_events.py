@@ -19,6 +19,10 @@ class TestConstructorsMatchSchema:
             ev.iteration(7, 0, 4, 3),
             ev.forward(10, 2, 5, 4),
             ev.slot_summary(11, 12, 40),
+            ev.slot_summary(11, 12, 40, [3, 0, 7, 1]),
+            ev.fault(12, 3, "input"),
+            ev.recovery(15, 3, "input", 8),
+            ev.recovery(15, 3, "output"),
         ],
     )
     def test_every_constructor_validates(self, event):
@@ -35,6 +39,8 @@ class TestConstructorsMatchSchema:
             ev.iteration(0, 0, 0, 0)["type"],
             ev.forward(0, 0, 0, 1)["type"],
             ev.slot_summary(0, 0, 0)["type"],
+            ev.fault(0, 0, "input")["type"],
+            ev.recovery(0, 0, "output")["type"],
         }
         assert built == set(ev.EVENT_TYPES)
 

@@ -51,6 +51,20 @@ class TestRingTracer:
         tracer.emit(ev.slot_summary(0, 1, 1))
         assert len(tracer.of_type("slot")) == 1
 
+    def test_of_type_rejects_unknown_kind(self):
+        """A typo'd kind is a programming error, not an empty result."""
+        tracer = RingTracer()
+        tracer.emit(ev.arrival(0, 0, 0))
+        with pytest.raises(ValueError, match="unknown event type"):
+            tracer.of_type("arival")
+
+    def test_of_type_accepts_new_fault_kinds(self):
+        tracer = RingTracer()
+        tracer.emit(ev.fault(5, 1, "input"))
+        tracer.emit(ev.recovery(9, 1, "input", 4))
+        assert len(tracer.of_type("fault")) == 1
+        assert tracer.of_type("recovery")[0]["backlog_slots"] == 4
+
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             RingTracer(capacity=0)

@@ -54,6 +54,32 @@ class TestPointKey:
         keys = {point_key(spec.config, p) for p in spec.points()}
         assert len(keys) == 3
 
+    def test_empty_fault_kwargs_preserve_pre_fault_keys(self):
+        """Fault-free points must hash exactly as they did before fault
+        injection existed, so old cache entries stay valid and a
+        zero-fault resilience baseline is served from a plain sweep's
+        cache."""
+        spec, point = spec_and_point()
+        faulted_spec, faulted_point = spec_and_point(fault_kwargs=())
+        assert point.fault_kwargs == ()
+        assert point_key(spec.config, point) == point_key(
+            faulted_spec.config, faulted_point
+        )
+
+    def test_fault_kwargs_fold_into_key(self):
+        from repro.faults import FaultPlan
+
+        spec, point = spec_and_point()
+        base = point_key(spec.config, point)
+        keys = {
+            point_key(s.config, p)
+            for s, p in (
+                spec_and_point(fault_kwargs=FaultPlan.message_loss(0.1).to_spec()),
+                spec_and_point(fault_kwargs=FaultPlan.message_loss(0.2).to_spec()),
+            )
+        }
+        assert base not in keys and len(keys) == 2
+
 
 class TestRoundTrip:
     def test_simresult_payload_roundtrip(self):

@@ -1,0 +1,43 @@
+"""The reference trace must match the golden file byte for byte.
+
+Thin pytest wrapper around ``tools/check_trace_diff.py`` (CI also runs
+the script directly) so any behavioural drift in the simulator,
+scheduler, or trace schema fails the tier-1 suite. After an intentional
+change, re-golden with ``python tools/check_trace_diff.py --update``.
+"""
+
+import importlib.util
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_trace_diff.py"
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("check_trace_diff", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_reference_trace_matches_golden():
+    tool = load_tool()
+    assert tool.GOLDEN.exists(), "golden trace missing — run the tool with --update"
+    problems = tool.diff_traces(tool.GOLDEN.read_text(), tool.generate_trace())
+    assert not problems, "\n".join(problems)
+
+
+def test_golden_trace_is_schema_valid():
+    """The pinned golden file itself passes the event schema."""
+    import json
+
+    from repro.obs.events import validate_event
+
+    tool = load_tool()
+    events = [
+        json.loads(line)
+        for line in tool.GOLDEN.read_text().splitlines()
+        if line.strip()
+    ]
+    assert len(events) > 100
+    for event in events:
+        assert validate_event(event) == [], event

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Diff a freshly generated event trace against the golden trace.
+
+The golden trace (``tests/data/golden_trace.jsonl``) pins the exact
+event stream of one reference simulation — scheduler ``lcf_central_rr``,
+4 ports, seed 7, load 0.85, 20 warmup + 100 measured slots. Because
+every simulation is a pure function of its seed, the regenerated trace
+must match the golden file *byte for byte*; any divergence means the
+simulator, scheduler, or trace schema changed behaviour, and CI fails
+until the change is either fixed or deliberately re-goldened.
+
+Usage::
+
+    python tools/check_trace_diff.py            # regenerate + diff
+    python tools/check_trace_diff.py --update   # re-golden (after an
+                                                # intentional change)
+
+Exit status 0 on match, 1 on divergence (first few differing lines are
+printed with their line numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN = REPO_ROOT / "tests" / "data" / "golden_trace.jsonl"
+
+#: Reference run parameters — change these only when re-goldening.
+SCHEDULER = "lcf_central_rr"
+N_PORTS = 4
+SEED = 7
+LOAD = 0.85
+WARMUP = 20
+MEASURE = 100
+MAX_SHOWN = 10
+
+
+def generate_trace() -> str:
+    """The reference run's JSONL event stream, as one string."""
+    from repro.obs.tracer import JsonlTracer
+    from repro.sim.config import SimConfig
+    from repro.sim.simulator import run_simulation
+
+    config = SimConfig(
+        n_ports=N_PORTS, warmup_slots=WARMUP, measure_slots=MEASURE, seed=SEED
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trace.jsonl"
+        tracer = JsonlTracer(path)
+        with tracer:
+            run_simulation(config, SCHEDULER, LOAD, tracer=tracer)
+        return path.read_text()
+
+
+def diff_traces(golden: str, fresh: str) -> list[str]:
+    """Human-readable line-level differences (empty = identical)."""
+    if golden == fresh:
+        return []
+    problems: list[str] = []
+    golden_lines = golden.splitlines()
+    fresh_lines = fresh.splitlines()
+    if len(golden_lines) != len(fresh_lines):
+        problems.append(
+            f"line count differs: golden {len(golden_lines)}, "
+            f"fresh {len(fresh_lines)}"
+        )
+    for number, (expected, actual) in enumerate(
+        zip(golden_lines, fresh_lines), start=1
+    ):
+        if expected != actual:
+            problems.append(
+                f"line {number}:\n  golden: {expected}\n  fresh:  {actual}"
+            )
+            if len(problems) >= MAX_SHOWN:
+                problems.append("... (further differences suppressed)")
+                break
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the golden trace from the current simulator",
+    )
+    args = parser.parse_args(argv)
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    fresh = generate_trace()
+    if args.update:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(fresh)
+        print(f"golden trace updated: {GOLDEN} ({len(fresh.splitlines())} events)")
+        return 0
+    if not GOLDEN.exists():
+        print(f"golden trace missing: {GOLDEN} (run with --update)", file=sys.stderr)
+        return 1
+    problems = diff_traces(GOLDEN.read_text(), fresh)
+    if problems:
+        print(
+            f"trace diverged from golden ({GOLDEN.name}); if the change is "
+            "intentional, re-golden with tools/check_trace_diff.py --update",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print(
+        f"trace matches golden: {len(fresh.splitlines())} events, "
+        f"{SCHEDULER} n={N_PORTS} seed={SEED} load={LOAD}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
