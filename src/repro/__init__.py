@@ -30,6 +30,14 @@ for the paper-versus-measured record.
 """
 
 from repro._version import __version__
+from repro.adapt import (
+    AdaptConfig,
+    AdaptiveLCF,
+    BackupPortPolicy,
+    HealthEstimator,
+    ObliviousAdapter,
+    make_adapter,
+)
 from repro.baselines import (
     FIFOScheduler,
     GreedyMaximal,
@@ -129,6 +137,13 @@ __all__ = [
     # fault injection
     "FaultPlan",
     "FaultInjector",
+    # adaptive fault reaction
+    "AdaptConfig",
+    "AdaptiveLCF",
+    "HealthEstimator",
+    "BackupPortPolicy",
+    "ObliviousAdapter",
+    "make_adapter",
     # observability
     "Tracer",
     "NullTracer",

@@ -1,0 +1,46 @@
+"""Fault-reactive scheduling: close the loop from observation to decision.
+
+:mod:`repro.faults` (PR 3) made every scheduler *survive* faults;
+this package makes them *react*. A masked crosspoint is exactly a lost
+choice, so fault awareness slots directly into the paper's
+least-choice-first priority rule: subtract suspected-dead crosspoints
+from the request matrix and the NRQ choice counts reflect *usable*
+choices.
+
+Layers (each importable on its own):
+
+* :class:`~repro.adapt.config.AdaptConfig` — frozen declarative
+  reaction parameters (detection/probation windows, probe cadence,
+  count vs EWMA evidence), sweep-spec round-trippable;
+* :class:`~repro.adapt.estimator.HealthEstimator` — deterministic
+  online health inference from grant outcomes, with ``suspect`` /
+  ``probe`` / ``readmit`` trace events and detection-latency metrics;
+* :class:`~repro.adapt.policy.BackupPortPolicy` — stateless re-ranking
+  of alternate outputs for flows whose primary crosspoint is suspect;
+* :class:`~repro.adapt.adapter.AdaptiveLCF` /
+  :class:`~repro.adapt.adapter.ObliviousAdapter` — the switch-facing
+  stances, resolved from wire specs by
+  :func:`~repro.adapt.adapter.make_adapter`.
+
+See ``docs/ADAPTIVE.md`` for the estimator model and benchmark results.
+"""
+
+from repro.adapt.adapter import (
+    AdaptiveLCF,
+    ObliviousAdapter,
+    SchedulingAdapter,
+    make_adapter,
+)
+from repro.adapt.config import AdaptConfig
+from repro.adapt.estimator import HealthEstimator
+from repro.adapt.policy import BackupPortPolicy
+
+__all__ = [
+    "AdaptConfig",
+    "AdaptiveLCF",
+    "BackupPortPolicy",
+    "HealthEstimator",
+    "ObliviousAdapter",
+    "SchedulingAdapter",
+    "make_adapter",
+]

@@ -1,0 +1,192 @@
+"""Scheduler-agnostic adapters wiring health inference into the switch.
+
+An adapter changes the switch's *stance* toward faults. Without one,
+:class:`~repro.sim.crossbar.InputQueuedSwitch` pre-masks faulted
+crosspoints out of the request matrix — the informed stance, where an
+oracle tells the scheduler the exact fault state. With an adapter
+attached the switch goes fault-blind: the scheduler sees whatever the
+adapter's :meth:`~SchedulingAdapter.filter_requests` returns, grants
+over dead crosspoints are silently dropped by the fabric gate, and the
+adapter's :meth:`~SchedulingAdapter.observe` sees which proposed grants
+survived.
+
+Two stances ship:
+
+* :class:`ObliviousAdapter` — the degraded baseline: requests pass
+  through untouched, outcomes are ignored. The scheduler keeps wasting
+  grants on dead crosspoints for as long as they stay dead.
+* :class:`AdaptiveLCF` — the reactive stance: a
+  :class:`~repro.adapt.estimator.HealthEstimator` learns dead
+  crosspoints from the wasted grants and filters them out of the
+  request matrix. For an LCF scheduler this *is* the choice-count
+  correction: the NRQ vector is computed from the filtered matrix, so
+  suspected-dead crosspoints no longer count as choices and LCF
+  priority reflects usable choices only. The wrapper is
+  scheduler-agnostic — iSLIP, PIM, or weighted matching baselines react
+  the same way.
+
+Adapters work with any registry scheduler because they act on the
+request matrix and the grant outcomes, never on scheduler internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adapt.config import AdaptConfig
+from repro.adapt.estimator import HealthEstimator
+from repro.adapt.policy import BackupPortPolicy
+
+__all__ = ["SchedulingAdapter", "ObliviousAdapter", "AdaptiveLCF", "make_adapter"]
+
+
+class SchedulingAdapter:
+    """Base adapter: the fault-blind pass-through contract.
+
+    The switch drives one instance through four hooks each slot:
+    :meth:`filter_requests` before scheduling, :meth:`note_truth` with
+    the injector's ground-truth mask (metrics only — never decisions),
+    and :meth:`observe` with the proposed and fabric-applied schedules
+    after the gate. :meth:`bind` is called once when the switch is
+    built, with the port count and the resolved tracer/metrics.
+    """
+
+    #: Spec name (the ``policy`` key understood by :func:`make_adapter`).
+    name = "oblivious"
+
+    def __init__(self) -> None:
+        self.n: int | None = None
+
+    def bind(self, n: int, tracer=None, metrics=None) -> None:
+        """Attach to a switch: fix the port count and instrumentation."""
+        self.n = n
+
+    def reset(self) -> None:
+        """Forget all learned state (fresh simulation run)."""
+
+    def filter_requests(self, slot: int, matrix: np.ndarray) -> np.ndarray:
+        """The request matrix the scheduler should see this slot."""
+        return matrix
+
+    def note_truth(self, slot: int, mask: np.ndarray) -> None:
+        """Ground-truth crosspoint usability, when an injector exists."""
+
+    def observe(self, slot: int, proposed: np.ndarray, applied: np.ndarray) -> None:
+        """Per-slot outcomes: the schedule as proposed by the scheduler
+        and as applied after the fabric gate."""
+
+    def to_spec(self) -> tuple[tuple[str, object], ...]:
+        """Flat ``(key, value)`` pairs for sweep specs / cache keys."""
+        return (("policy", self.name),)
+
+    def summary(self) -> str:
+        """One-line state description for CLI reports."""
+        return f"{self.name}: no reaction (fault-blind baseline)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class ObliviousAdapter(SchedulingAdapter):
+    """The fault-blind baseline stance — inherits every pass-through."""
+
+
+class AdaptiveLCF(SchedulingAdapter):
+    """Reactive wrapper: learn dead crosspoints, steer grants around
+    them, probe for recovery.
+
+    Construct with an :class:`~repro.adapt.config.AdaptConfig` (or
+    keyword fields for one) and optionally a custom
+    :class:`~repro.adapt.policy.BackupPortPolicy`. The
+    :class:`~repro.adapt.estimator.HealthEstimator` is created at
+    :meth:`bind` time, when the port count is known; ``estimator`` is
+    ``None`` before that.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        config: AdaptConfig | None = None,
+        policy: BackupPortPolicy | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__()
+        if config is not None and kwargs:
+            raise ValueError("pass either a config object or keyword fields, not both")
+        self.config = config if config is not None else AdaptConfig(**kwargs)
+        self.policy = policy if policy is not None else BackupPortPolicy()
+        self.estimator: HealthEstimator | None = None
+
+    def bind(self, n: int, tracer=None, metrics=None) -> None:
+        super().bind(n, tracer, metrics)
+        if self.estimator is None or self.estimator.n != n:
+            self.estimator = HealthEstimator(
+                n, self.config, self.policy, tracer=tracer, metrics=metrics
+            )
+        else:
+            self.estimator.attach(tracer, metrics)
+
+    def reset(self) -> None:
+        if self.estimator is not None:
+            self.estimator.reset()
+
+    def filter_requests(self, slot: int, matrix: np.ndarray) -> np.ndarray:
+        if self.estimator is None:
+            raise RuntimeError("AdaptiveLCF.bind(n) must run before filtering")
+        return self.estimator.usable(slot, matrix)
+
+    def note_truth(self, slot: int, mask: np.ndarray) -> None:
+        if self.estimator is not None:
+            self.estimator.note_truth(slot, mask)
+
+    def observe(self, slot: int, proposed: np.ndarray, applied: np.ndarray) -> None:
+        if self.estimator is None:
+            raise RuntimeError("AdaptiveLCF.bind(n) must run before observing")
+        self.estimator.observe(slot, proposed, applied)
+
+    def to_spec(self) -> tuple[tuple[str, object], ...]:
+        return self.config.to_spec()
+
+    def summary(self) -> str:
+        if self.estimator is None:
+            return f"adaptive (unbound): {self.config.describe()}"
+        return self.estimator.summary()
+
+
+def make_adapter(spec) -> SchedulingAdapter | None:
+    """Resolve an adapter spec to an instance (or ``None``).
+
+    Accepts, in order of convenience:
+
+    * ``None`` or an empty spec — no adapter (the informed default);
+    * an existing :class:`SchedulingAdapter` — returned as-is;
+    * an :class:`~repro.adapt.config.AdaptConfig` — wrapped in
+      :class:`AdaptiveLCF`;
+    * a dict or ``(key, value)`` pair tuple — the wire form. The
+      ``policy`` key picks the stance (``"oblivious"`` or
+      ``"adaptive"``, the default); remaining keys become
+      :class:`~repro.adapt.config.AdaptConfig` fields.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, SchedulingAdapter):
+        return spec
+    if isinstance(spec, AdaptConfig):
+        return AdaptiveLCF(spec)
+    pairs = dict(spec)
+    if not pairs:
+        return None
+    policy = pairs.get("policy", "adaptive")
+    if policy == "oblivious":
+        extras = set(pairs) - {"policy"}
+        if extras:
+            raise ValueError(
+                f"oblivious adapter takes no config keys, got {sorted(extras)}"
+            )
+        return ObliviousAdapter()
+    if policy != "adaptive":
+        raise ValueError(
+            f"unknown adapter policy {policy!r}; expected 'adaptive' or 'oblivious'"
+        )
+    return AdaptiveLCF(AdaptConfig.from_spec(pairs))

@@ -1,0 +1,152 @@
+"""Adaptive-scheduling configuration: *how* the loop reacts, declaratively.
+
+An :class:`AdaptConfig` is the frozen, declarative counterpart of
+:class:`~repro.faults.plan.FaultPlan` for the reaction side: it says how
+much evidence turns a crosspoint suspect, how often suspects are probed,
+and how many successful probes readmit them. It contains **no state**;
+:class:`~repro.adapt.estimator.HealthEstimator` turns it into concrete,
+deterministic per-slot decisions.
+
+Like a fault plan, a config round-trips through :meth:`AdaptConfig.to_spec`
+/ :meth:`AdaptConfig.from_spec` as flat ``(key, value)`` tuples so it can
+ride inside a frozen :class:`~repro.sweep.spec.SweepSpec` and be folded
+into the sweep cache key — an adaptive sweep point caches and resumes
+exactly like a plain one, and a plain point's key is unchanged.
+
+The spec form additionally carries a ``policy`` key (``"adaptive"`` or
+``"oblivious"``) so one wire format names all three scheduling stances:
+
+* *empty spec* — the default informed stance: the switch masks faulted
+  crosspoints out of the request matrix before scheduling (the PR 3
+  semantics; the scheduler is told the fault state by an oracle);
+* ``policy=oblivious`` — fault-blind: the scheduler sees every request
+  and wastes grants on dead crosspoints (the fabric gate silently drops
+  them). This is the degraded baseline reactive scheduling must beat;
+* ``policy=adaptive`` — fault-blind *and* reactive: an
+  :class:`~repro.adapt.adapter.AdaptiveLCF` layer learns dead
+  crosspoints from the wasted grants and steers scheduling around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["AdaptConfig"]
+
+
+@dataclass(frozen=True)
+class AdaptConfig:
+    """Parameters of the fault-reaction loop (defaults are deliberately
+    conservative: quick detection, light probing, no starvation signal).
+
+    ``mode`` selects the evidence accumulator: ``"count"`` tracks
+    consecutive failed grants per crosspoint/port, ``"ewma"`` tracks an
+    exponentially weighted health score with hysteresis.
+    """
+
+    #: ``"count"`` (consecutive-failure windows) or ``"ewma"``.
+    mode: str = "count"
+    #: Count mode: consecutive undelivered grants on one crosspoint that
+    #: turn it suspect.
+    detection_window: int = 3
+    #: Count mode: successful probes required to readmit a suspect.
+    probation_window: int = 1
+    #: Slots between probe grants offered to one suspect crosspoint
+    #: (anchored at the slot it became suspect, so the cadence is a pure
+    #: function of the event history). The default is aggressive on
+    #: purpose: a failed probe wastes at most one grant, while every
+    #: slot a *recovered* crosspoint stays blocked compounds queue
+    #: backlog — benchmarks showed readmission lag, not probe cost,
+    #: dominating the reactive-vs-oblivious gap.
+    probe_interval: int = 4
+    #: Consecutive undelivered grants *anywhere on a port* (row or
+    #: column) that turn the whole port suspect; 0 disables port-level
+    #: inference and keeps health purely per-crosspoint.
+    port_detection_window: int = 4
+    #: Slots a continuously requesting crosspoint may go entirely
+    #: ungranted before that counts as one failure strike; 0 disables
+    #: the starvation signal (the default — under heavy contention it
+    #: trades detection coverage for false positives).
+    starvation_window: int = 0
+    #: EWMA mode: smoothing factor for the per-crosspoint health score.
+    ewma_alpha: float = 0.25
+    #: EWMA mode: health below this turns a crosspoint suspect.
+    suspect_threshold: float = 0.5
+    #: EWMA mode: probed health at or above this readmits it (hysteresis
+    #: band; must be >= suspect_threshold).
+    readmit_threshold: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("count", "ewma"):
+            raise ValueError(f"mode must be count or ewma, got {self.mode!r}")
+        for name in ("detection_window", "probation_window", "probe_interval"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        for name in ("port_detection_window", "starvation_window"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        for name in ("suspect_threshold", "readmit_threshold"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], "
+                    f"got {getattr(self, name)}"
+                )
+        if self.readmit_threshold < self.suspect_threshold:
+            raise ValueError(
+                "readmit_threshold must be >= suspect_threshold "
+                f"(hysteresis), got {self.readmit_threshold} < "
+                f"{self.suspect_threshold}"
+            )
+
+    # -- sweep-spec round trip -----------------------------------------------
+
+    def to_spec(self) -> tuple[tuple[str, object], ...]:
+        """Flatten to sorted ``(key, value)`` pairs for
+        ``SweepSpec.adapt_kwargs``; default values are omitted, and a
+        ``("policy", "adaptive")`` pair is always present so the spec of
+        an all-defaults config is still non-empty (an empty spec means
+        *no adapter at all*)."""
+        spec: list[tuple[str, object]] = [("policy", "adaptive")]
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value != field.default:
+                spec.append((field.name, value))
+        return tuple(sorted(spec))
+
+    @classmethod
+    def from_spec(cls, spec) -> "AdaptConfig":
+        """Inverse of :meth:`to_spec`; also accepts a plain dict. A
+        ``policy`` key, if present, must say ``adaptive``."""
+        pairs = dict(spec) if not isinstance(spec, dict) else dict(spec)
+        policy = pairs.pop("policy", "adaptive")
+        if policy != "adaptive":
+            raise ValueError(
+                f"AdaptConfig.from_spec got policy {policy!r}; use "
+                "make_adapter() to resolve oblivious specs"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(pairs) - known
+        if unknown:
+            raise ValueError(f"unknown adapt-config keys: {sorted(unknown)}")
+        return cls(**pairs)
+
+    def describe(self) -> str:
+        """One-line human summary for CLI banners."""
+        if self.mode == "count":
+            detail = (
+                f"detect after {self.detection_window} failed grant(s), "
+                f"readmit after {self.probation_window} probe(s)"
+            )
+        else:
+            detail = (
+                f"ewma alpha={self.ewma_alpha:g} suspect<{self.suspect_threshold:g} "
+                f"readmit>={self.readmit_threshold:g}"
+            )
+        port = (
+            f", port quorum {self.port_detection_window}"
+            if self.port_detection_window
+            else ""
+        )
+        return f"adaptive ({self.mode}): {detail}, probe every {self.probe_interval}{port}"

@@ -1,0 +1,65 @@
+"""Backup-output ranking for flows whose primary crosspoint is suspect.
+
+When the :class:`~repro.adapt.estimator.HealthEstimator` steers every
+requested output of one input out of the request matrix, that input
+would starve — and, worse, stop producing the very grant outcomes the
+estimator learns from. The :class:`BackupPortPolicy` breaks the
+deadlock: it re-ranks the input's blocked alternatives and restores the
+most promising one as a backup grant opportunity. The same ranking
+picks which crosspoint a suspect *port* probes through.
+
+The policy is stateless and pure: the rank of a candidate depends only
+on ``(slot, port, health scores)``, so replaying a trace replays the
+same backups. Ties rotate with the slot number, spreading consecutive
+backup attempts across equally healthy candidates instead of hammering
+the lowest index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BackupPortPolicy"]
+
+
+class BackupPortPolicy:
+    """Deterministic ranking of alternate outputs.
+
+    Candidates are ordered by descending health score (the estimator's
+    EWMA score, or ``1 / (1 + fail_streak)`` in count mode) and, within
+    a health tie, by a slot-rotated round robin so repeated backup
+    picks cycle through the tie instead of always retrying one loser.
+    """
+
+    def rank(
+        self, slot: int, port: int, candidates: np.ndarray, health: np.ndarray
+    ) -> list[int]:
+        """All candidate indices, best first.
+
+        ``candidates`` is a length-``n`` bool mask (the blocked lane
+        entries that still have a request); ``health`` the matching
+        per-candidate scores. Empty mask returns an empty list.
+        """
+        n = candidates.shape[0]
+        picks = np.flatnonzero(candidates)
+        order = sorted(
+            (int(j) for j in picks),
+            key=lambda j: (-float(health[j]), (j - slot - port) % n),
+        )
+        return order
+
+    def choose(
+        self, slot: int, port: int, candidates: np.ndarray, health: np.ndarray
+    ) -> int:
+        """The single best candidate (see :meth:`rank`).
+
+        Raises ``ValueError`` on an empty candidate mask — callers gate
+        on ``candidates.any()`` first.
+        """
+        order = self.rank(slot, port, candidates, health)
+        if not order:
+            raise ValueError("no candidate outputs to choose from")
+        return order[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BackupPortPolicy(health-desc, slot-rotated ties)"

@@ -34,6 +34,7 @@ from repro.faults.harness import (
     run_loss_sweep,
 )
 from repro.faults.plan import FaultPlan, LinkOutage, PortDownInterval
+from repro.ioutil import atomic_write_text
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import JsonlTracer, RingTracer
 from repro.sim.config import SimConfig
@@ -115,10 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
     # Sweep modes.
     parser.add_argument("--loss-grid", type=_parse_grid, default=None,
                         metavar="R0,R1,...",
-                        help="sweep message-loss axis over these rates")
+                        help="sweep message-loss axis over these rates "
+                        f"(e.g. {','.join(str(x) for x in DEFAULT_LOSS_GRID)})")
     parser.add_argument("--availability-grid", type=_parse_grid, default=None,
                         metavar="A0,A1,...",
-                        help="sweep availability axis over these values")
+                        help="sweep availability axis over these values (e.g. "
+                        f"{','.join(str(x) for x in DEFAULT_AVAILABILITY_GRID)})")
     parser.add_argument("--replicates", type=int, default=1)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--cache-dir", default=None)
@@ -134,6 +137,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the degradation report as JSON")
     parser.add_argument("--quiet", action="store_true")
     return parser
+
+
+def validate_common_args(args: argparse.Namespace, prog: str) -> str | None:
+    """Shared CLI sanity checks; returns an error message or ``None``.
+
+    argparse types catch malformed values; this catches well-formed
+    nonsense (negative seeds, zero ports, empty grids) *before* any
+    simulation runs or artifact file is opened, so a bad invocation
+    exits non-zero without side effects.
+    """
+    if args.ports < 1:
+        return f"{prog}: --ports must be >= 1, got {args.ports}"
+    if args.slots < 0:
+        return f"{prog}: --slots must be >= 0, got {args.slots}"
+    if args.warmup < 0:
+        return f"{prog}: --warmup must be >= 0, got {args.warmup}"
+    if args.seed < 0:
+        return f"{prog}: --seed must be >= 0, got {args.seed}"
+    if not args.load > 0:
+        return f"{prog}: --load must be > 0, got {args.load}"
+    if getattr(args, "replicates", 1) < 1:
+        return f"{prog}: --replicates must be >= 1, got {args.replicates}"
+    if getattr(args, "workers", 1) < 1:
+        return f"{prog}: --workers must be >= 1, got {args.workers}"
+    for flag in ("loss_grid", "availability_grid"):
+        grid = getattr(args, flag, None)
+        if grid is not None and len(grid) == 0:
+            name = flag.replace("_", "-")
+            return f"{prog}: --{name} was given but contains no values"
+    return None
 
 
 def _build_plan(args: argparse.Namespace) -> FaultPlan:
@@ -164,7 +197,11 @@ def _single_run(args: argparse.Namespace) -> int:
         print(f"lcf-faults: {args.scheduler!r} uses a dedicated switch model "
               "without fault support", file=sys.stderr)
         return 2
-    plan = _build_plan(args)
+    try:
+        plan = _build_plan(args)
+    except ValueError as exc:
+        print(f"lcf-faults: invalid fault plan: {exc}", file=sys.stderr)
+        return 2
     config = SimConfig(
         n_ports=args.ports,
         iterations=args.iterations,
@@ -208,8 +245,9 @@ def _single_run(args: argparse.Namespace) -> int:
     if args.trace_out and not args.quiet:
         print(f"trace written to {args.trace_out}")
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(
+        atomic_write_text(
+            args.json,
+            json.dumps(
                 {
                     "mode": "single",
                     "scheduler": args.scheduler,
@@ -217,9 +255,9 @@ def _single_run(args: argparse.Namespace) -> int:
                     "plan": plan.describe(),
                     "row": result.row(),
                 },
-                handle,
                 indent=2,
-            )
+            ),
+        )
     return 0
 
 
@@ -248,28 +286,29 @@ def _sweep(args: argparse.Namespace) -> int:
         cache=args.cache_dir,
         progress=not args.quiet,
     )
-    if args.loss_grid is not None:
-        report = run_loss_sweep(
-            schedulers, rates=args.loss_grid or DEFAULT_LOSS_GRID,
-            delay=args.delay, **common,
-        )
-    else:
-        report = run_availability_sweep(
-            schedulers,
-            availabilities=args.availability_grid or DEFAULT_AVAILABILITY_GRID,
-            **common,
-        )
+    try:
+        if args.loss_grid is not None:
+            report = run_loss_sweep(
+                schedulers, rates=args.loss_grid, delay=args.delay, **common,
+            )
+        else:
+            report = run_availability_sweep(
+                schedulers, availabilities=args.availability_grid, **common,
+            )
+    except ValueError as exc:
+        print(f"lcf-faults: {exc}", file=sys.stderr)
+        return 2
     if not args.quiet:
         print(report.plot(metric=args.metric))
         print(report.summary())
     if args.csv:
-        with open(args.csv, "w") as handle:
-            handle.write(report.to_csv())
+        atomic_write_text(args.csv, report.to_csv())
         if not args.quiet:
             print(f"degradation rows written to {args.csv}")
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(
+        atomic_write_text(
+            args.json,
+            json.dumps(
                 {
                     "mode": report.axis,
                     "load": report.load,
@@ -277,10 +316,10 @@ def _sweep(args: argparse.Namespace) -> int:
                     "values": list(report.values),
                     "rows": report.rows(),
                 },
-                handle,
                 indent=2,
                 allow_nan=True,
-            )
+            ),
+        )
         if not args.quiet:
             print(f"degradation report written to {args.json}")
     return 0
@@ -288,6 +327,10 @@ def _sweep(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    error = validate_common_args(args, "lcf-faults")
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     if args.loss_grid is not None and args.availability_grid is not None:
         print("lcf-faults: choose one of --loss-grid / --availability-grid",
               file=sys.stderr)

@@ -37,8 +37,10 @@ from repro.sweep.spec import SweepSpec
 
 __all__ = [
     "ResilienceReport",
+    "AdaptiveComparisonReport",
     "run_loss_sweep",
     "run_availability_sweep",
+    "run_adaptive_sweep",
     "DEFAULT_LOSS_GRID",
     "DEFAULT_AVAILABILITY_GRID",
 ]
@@ -171,6 +173,96 @@ class ResilienceReport:
         return "\n".join(lines)
 
 
+@dataclass
+class AdaptiveComparisonReport:
+    """Reactive vs oblivious degradation along the availability axis.
+
+    Both stances are fault-*blind* (see :mod:`repro.adapt`): the
+    oblivious baseline keeps wasting grants on dead crosspoints, the
+    adaptive stance learns and steers around them. At the healthy end
+    of the axis the two are bit-identical to a plain run (no faults →
+    nothing to learn → no filtering), which the benchmark asserts.
+    """
+
+    schedulers: tuple[str, ...]
+    #: Availability values, in sweep order.
+    values: tuple[float, ...]
+    load: float
+    #: Merged result per (scheduler, availability), oblivious stance.
+    oblivious: dict[tuple[str, float], SimResult]
+    #: Merged result per (scheduler, availability), adaptive stance.
+    adaptive: dict[tuple[str, float], SimResult]
+    #: The adapter spec the adaptive stance ran under.
+    adapt_spec: tuple = ()
+    #: The fault plan each axis value ran under (spec form).
+    plans: dict[float, tuple] = field(default_factory=dict)
+    #: One engine report per (axis value, stance), in sweep order.
+    sweep_reports: list[SweepRunReport] = field(default_factory=list)
+
+    @property
+    def baseline_value(self) -> float:
+        return max(self.values)
+
+    def recovered(self, scheduler: str, value: float) -> float:
+        """Fraction of the oblivious throughput loss the adaptive stance
+        wins back at one axis point (1.0 = fully recovered to the
+        healthy baseline, 0.0 = no better than oblivious, negative =
+        worse). NaN when the oblivious stance lost nothing."""
+        healthy = self.oblivious[(scheduler, self.baseline_value)].throughput
+        blind = self.oblivious[(scheduler, value)].throughput
+        adapt = self.adaptive[(scheduler, value)].throughput
+        lost = healthy - blind
+        if not math.isfinite(lost) or lost <= 0:
+            return math.nan
+        return (adapt - blind) / lost
+
+    def rows(self) -> list[dict]:
+        """Flat rows (one per cell and stance) for CSV / JSON."""
+        rows = []
+        for name in self.schedulers:
+            for value in self.values:
+                for stance, results in (
+                    ("oblivious", self.oblivious),
+                    ("adaptive", self.adaptive),
+                ):
+                    result = results[(name, value)]
+                    rows.append(
+                        result.row()
+                        | {
+                            "availability": value,
+                            "stance": stance,
+                            "recovered": (
+                                self.recovered(name, value)
+                                if stance == "adaptive"
+                                else math.nan
+                            ),
+                        }
+                    )
+        return rows
+
+    def to_csv(self) -> str:
+        return rows_to_csv(self.rows())
+
+    def summary(self) -> str:
+        """Per-scheduler table: blind vs adaptive at each degraded point."""
+        lines = [
+            f"adaptive vs oblivious (availability axis, load {self.load:g})"
+        ]
+        for name in self.schedulers:
+            lines.append(f"  {name}")
+            for value in self.values:
+                blind = self.oblivious[(name, value)]
+                adapt = self.adaptive[(name, value)]
+                recovered = self.recovered(name, value)
+                rec = f"{recovered:6.1%}" if math.isfinite(recovered) else "   n/a"
+                lines.append(
+                    f"    a={value:<5g} thr {blind.throughput:.3f} -> "
+                    f"{adapt.throughput:.3f}  latency {blind.mean_latency:8.2f} -> "
+                    f"{adapt.mean_latency:8.2f}  recovered {rec}"
+                )
+        return "\n".join(lines)
+
+
 def _sweep_axis(
     axis: str,
     plans: dict[float, FaultPlan],
@@ -270,3 +362,75 @@ def run_availability_sweep(
         cache,
         progress,
     )
+
+
+#: The oblivious (fault-blind, non-reactive) stance spec.
+OBLIVIOUS_SPEC = (("policy", "oblivious"),)
+
+
+def run_adaptive_sweep(
+    schedulers: tuple[str, ...],
+    availabilities: tuple[float, ...] = DEFAULT_AVAILABILITY_GRID,
+    load: float = 0.8,
+    config: SimConfig | None = None,
+    period: int = 400,
+    adapt=None,
+    traffic: str = "bernoulli",
+    replicates: int = 1,
+    processes: int = 1,
+    cache: ResultCache | str | Path | None = None,
+    progress: bool = False,
+) -> AdaptiveComparisonReport:
+    """Reactive vs oblivious degradation curves (availability axis).
+
+    Runs every (scheduler, availability) cell twice — once under the
+    oblivious fault-blind stance, once under the adaptive stance given
+    by ``adapt`` (an :class:`repro.adapt.AdaptConfig`, its spec form,
+    or ``None`` for defaults) — all through the cached parallel sweep
+    engine, so repeated comparisons are cache reads.
+
+    The adaptive stance only reacts to *topology* faults (dead
+    crosspoints it can observe through wasted grants), so the
+    availability axis is the meaningful one; message loss degrades the
+    control plane inside the schedulers where the fabric gate — the
+    adapter's evidence source — never fires.
+    """
+    from repro.adapt.config import AdaptConfig
+
+    config = config if config is not None else SimConfig()
+    if adapt is None:
+        adapt_spec = AdaptConfig().to_spec()
+    elif isinstance(adapt, AdaptConfig):
+        adapt_spec = adapt.to_spec()
+    else:
+        adapt_spec = tuple(sorted(dict(adapt).items()))
+    runner = ParallelRunner(workers=processes, cache=cache, progress=progress)
+    report = AdaptiveComparisonReport(
+        schedulers=tuple(schedulers),
+        values=tuple(availabilities),
+        load=load,
+        oblivious={},
+        adaptive={},
+        adapt_spec=adapt_spec,
+    )
+    for availability in availabilities:
+        plan = FaultPlan.availability(config.n_ports, availability, period=period)
+        for stance_spec, results in (
+            (OBLIVIOUS_SPEC, report.oblivious),
+            (adapt_spec, report.adaptive),
+        ):
+            spec = SweepSpec(
+                schedulers=tuple(schedulers),
+                loads=(load,),
+                config=config,
+                traffic=traffic,
+                replicates=replicates,
+                fault_kwargs=plan.to_spec(),
+                adapt_kwargs=stance_spec,
+            )
+            run = runner.run(spec)
+            for name in schedulers:
+                results[(name, availability)] = run.merged[(name, load)]
+            report.sweep_reports.append(run.report)
+        report.plans[availability] = plan.to_spec()
+    return report

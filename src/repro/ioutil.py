@@ -1,0 +1,32 @@
+"""Small filesystem helpers shared by the CLI entry points.
+
+Artifact files (CSV/JSON reports) are written atomically — content goes
+to a same-directory temp file that is then renamed over the target — so
+an interrupted or failing run never leaves a partially written artifact
+behind for a later tool to misread. This is the same discipline
+:mod:`repro.sweep.cache` applies to cache entries.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the final path.
+
+    The temp file lives next to the target (rename is only atomic
+    within a filesystem) and is removed if the write itself fails.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path

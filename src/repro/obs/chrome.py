@@ -15,6 +15,9 @@ mapping makes the switch's slot pipeline visible on a timeline:
   fault-induced queue buildup) as a timeline graph;
 * ``fault`` / ``recovery`` → instant ("I") markers on the switch
   process, so outages line up visually with the queue-depth counters;
+* ``suspect`` / ``probe`` / ``readmit`` → instant ("I") markers in an
+  ``adapt`` category, so the health estimator's reactions line up with
+  the faults that caused them;
 * ``iteration`` → short spans on the scheduler track (one per
   request/grant/accept round).
 
@@ -160,6 +163,30 @@ def to_chrome_trace(events: Iterable[dict], slot_us: float = SLOT_US) -> dict:
                         if kind == ev.RECOVERY
                         else {}
                     ),
+                }
+            )
+        elif kind in (ev.SUSPECT, ev.PROBE, ev.READMIT):
+            input, output = event["input"], event["output"]
+            where = (
+                f"({input},{output})"
+                if event["scope"] == "link"
+                else f"{event['scope']} {max(input, output)}"
+            )
+            args = {}
+            if kind == ev.SUSPECT:
+                args = {"fails": event["fails"]}
+            elif kind == ev.READMIT:
+                args = {"after": event["after"]}
+            trace.append(
+                {
+                    "ph": "I",
+                    "s": "p",
+                    "name": f"{kind} {where}",
+                    "cat": "adapt",
+                    "pid": PID_SWITCH,
+                    "tid": max(input, 0),
+                    "ts": ts,
+                    "args": args,
                 }
             )
     return {"traceEvents": trace, "displayTimeUnit": "ms"}

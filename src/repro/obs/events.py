@@ -46,6 +46,18 @@ Event vocabulary (the Figure 11 slot pipeline plus scheduler decisions):
     the slots from port-up until the input's queues shrank back to
     their at-fault level; 0 for outputs and for inputs with no
     backlog).
+``suspect``
+    The adaptive health estimator (:mod:`repro.adapt`) stopped
+    trusting a crosspoint or port side after ``fails`` consecutive
+    failed grants. ``scope`` is ``link`` (one crosspoint), ``input``
+    (a whole row), or ``output`` (a whole column); port-scope events
+    carry ``-1`` for the non-applicable coordinate.
+``probe``
+    A suspect crosspoint was deliberately re-offered to the scheduler
+    to test for recovery (same ``scope`` convention as ``suspect``).
+``readmit``
+    A suspect crosspoint or port side passed probation and returned to
+    service; ``after`` is the slots it spent suspect.
 """
 
 from __future__ import annotations
@@ -61,6 +73,12 @@ FORWARD = "forward"
 SLOT = "slot"
 FAULT = "fault"
 RECOVERY = "recovery"
+SUSPECT = "suspect"
+PROBE = "probe"
+READMIT = "readmit"
+
+#: ``scope`` values adaptive health events may carry.
+ADAPT_SCOPES = ("link", "input", "output")
 
 #: Required fields (beyond ``slot`` and ``type``) per event type, with
 #: the Python types a valid value may have. ``list`` fields must hold
@@ -84,6 +102,9 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     SLOT: {"matching_size": (int,), "requests": (int,), "voq": (list,)},
     FAULT: {"port": (int,), "side": (str,)},
     RECOVERY: {"port": (int,), "side": (str,), "backlog_slots": (int,)},
+    SUSPECT: {"input": (int,), "output": (int,), "scope": (str,), "fails": (int,)},
+    PROBE: {"input": (int,), "output": (int,), "scope": (str,)},
+    READMIT: {"input": (int,), "output": (int,), "scope": (str,), "after": (int,)},
 }
 
 EVENT_TYPES = frozenset(EVENT_SCHEMA)
@@ -173,6 +194,38 @@ def recovery(slot: int, port: int, side: str, backlog_slots: int = 0) -> dict:
         "port": port,
         "side": side,
         "backlog_slots": backlog_slots,
+    }
+
+
+def suspect(slot: int, input: int, output: int, scope: str, fails: int) -> dict:
+    return {
+        "slot": slot,
+        "type": SUSPECT,
+        "input": input,
+        "output": output,
+        "scope": scope,
+        "fails": fails,
+    }
+
+
+def probe(slot: int, input: int, output: int, scope: str) -> dict:
+    return {
+        "slot": slot,
+        "type": PROBE,
+        "input": input,
+        "output": output,
+        "scope": scope,
+    }
+
+
+def readmit(slot: int, input: int, output: int, scope: str, after: int) -> dict:
+    return {
+        "slot": slot,
+        "type": READMIT,
+        "input": input,
+        "output": output,
+        "scope": scope,
+        "after": after,
     }
 
 

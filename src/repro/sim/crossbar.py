@@ -23,6 +23,16 @@ tie-break-depth distributions). With neither attached — or with a
 :class:`~repro.obs.tracer.NullTracer` — the step loop pays one
 ``is not None`` check per stage and nothing else; results are
 bit-identical to an uninstrumented run (property-tested).
+
+Fault stances: with an ``injector`` alone the switch is *informed* —
+requests over faulted crosspoints are masked out before the scheduler
+sees them (an oracle tells it the fault state). Attaching an
+``adapter`` (:mod:`repro.adapt`) makes the switch *fault-blind*: the
+scheduler sees whatever the adapter returns, never the injector mask;
+the fabric gate silently drops grants over faulted crosspoints
+(counted in ``masked_grants``), and the adapter observes which
+proposed grants survived — the feedback loop reactive scheduling
+learns from.
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ class InputQueuedSwitch:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         injector: FaultInjector | None = None,
+        adapter=None,
     ):
         if scheduler.n != config.n_ports:
             raise ValueError(
@@ -102,6 +113,11 @@ class InputQueuedSwitch:
         if injector is not None and not injector.plan.has_topology_faults:
             injector = None
         self.injector = injector
+        #: Fault-reaction layer (repro.adapt). When attached, the switch
+        #: runs fault-blind: see the module docstring.
+        self.adapter = adapter
+        if adapter is not None:
+            adapter.bind(n, tracer=self.tracer, metrics=metrics)
         #: Fault accounting (kept even without a MetricsRegistry so the
         #: resilience harness can read degradation off the switch).
         self.fault_events = 0
@@ -175,33 +191,45 @@ class InputQueuedSwitch:
 
         # 3. Scheduling. Weight-based schedulers (LQF/OCF) receive the
         #    state their priority rule ranks by; everyone else sees the
-        #    boolean request matrix. Requests over faulted crosspoints
-        #    are masked out before the scheduler ever sees them.
+        #    boolean request matrix. ``seen`` is the effective request
+        #    matrix the scheduler works from: injector-masked in the
+        #    informed stance (no adapter), adapter-filtered in the
+        #    blind stance, ``None`` (= raw requests) otherwise.
         mask = injector.request_mask(slot) if injector is not None else None
+        adapter = self.adapter
+        if adapter is not None:
+            seen = adapter.filter_requests(slot, self.voqs.request_matrix())
+        elif mask is not None:
+            seen = self.voqs.request_matrix() & mask
+        else:
+            seen = None
         if observing:
-            request_total = self._record_requests(slot, mask)
+            request_total = self._record_requests(slot, seen)
         weight_kind = getattr(self.scheduler, "weight_kind", None)
         if weight_kind == "occupancy":
             weights = self.voqs.occupancy
-            if mask is not None:
-                weights = np.where(mask, weights, 0)
+            if seen is not None:
+                weights = np.where(seen, weights, 0)
             schedule = self.scheduler.schedule_weighted(weights)
         elif weight_kind == "hol_age":
             heads = self.voqs.head_timestamps()
             ages = np.where(heads >= 0, slot - heads + 1, 0)
-            if mask is not None:
-                ages = np.where(mask, ages, 0)
+            if seen is not None:
+                ages = np.where(seen, ages, 0)
             schedule = self.scheduler.schedule_weighted(ages)
         else:
-            matrix = self.voqs.request_matrix()
-            if mask is not None:
-                matrix &= mask
+            matrix = seen if seen is not None else self.voqs.request_matrix()
             schedule = self.scheduler.schedule(matrix)
+        proposed = schedule
         if mask is not None:
             # Defensive fabric gate: whatever the scheduler emitted, no
-            # grant crosses a faulted crosspoint. With the masking above
+            # grant crosses a faulted crosspoint. In the informed stance
             # this should never fire for a well-behaved scheduler, but
-            # it is the invariant the resilience property tests rely on.
+            # it is the invariant the resilience property tests rely on;
+            # in the blind stance it is the fault model itself — every
+            # grant it drops is a wasted slot the adapter learns from.
+            if adapter is not None:
+                proposed = schedule.copy()
             for i in range(self.n):
                 j = schedule[i]
                 if j != NO_GRANT and not mask[i, j]:
@@ -209,6 +237,10 @@ class InputQueuedSwitch:
                     self.masked_grants += 1
                     if self.metrics is not None:
                         self._m_masked.inc()
+        if adapter is not None:
+            if mask is not None:
+                adapter.note_truth(slot, mask)
+            adapter.observe(slot, proposed, schedule)
         if observing:
             self._record_decisions(slot, schedule, request_total)
 
@@ -296,15 +328,14 @@ class InputQueuedSwitch:
             if not accepted:
                 self._m_dropped.inc()
 
-    def _record_requests(self, slot: int, mask: np.ndarray | None = None) -> int:
+    def _record_requests(self, slot: int, seen: np.ndarray | None = None) -> int:
         """Emit the NRQ (choice-count) vector; returns total requests.
 
-        With a fault mask attached, the vector counts the requests the
-        scheduler will actually see — faulted crosspoints excluded.
+        ``seen`` is the effective request matrix the scheduler will
+        work from (injector-masked or adapter-filtered); ``None`` means
+        the raw occupancy-derived requests.
         """
-        matrix = self.voqs.request_matrix()
-        if mask is not None:
-            matrix &= mask
+        matrix = seen if seen is not None else self.voqs.request_matrix()
         nrq = matrix.sum(axis=1)
         if self.tracer is not None:
             self.tracer.emit(ev.requests(slot, [int(x) for x in nrq]))

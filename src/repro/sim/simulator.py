@@ -92,6 +92,7 @@ def build_switch(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     injector: FaultInjector | None = None,
+    adapter=None,
 ):
     """Instantiate the switch model matching a registry scheduler name.
 
@@ -105,11 +106,21 @@ def build_switch(
     dedicated switch models have neither a control plane nor per-port
     request paths, so faults there are a configuration error rather than
     a silently perfect run.
+
+    ``adapter`` attaches a fault-reaction layer (:mod:`repro.adapt`
+    :class:`~repro.adapt.adapter.SchedulingAdapter`), switching the
+    crossbar from the informed stance to fault-blind scheduling; like
+    faults it is rejected for the dedicated switch models.
     """
     if scheduler_name in ("outbuf", "fifo"):
         if injector is not None:
             raise ValueError(
                 f"fault injection is not supported by the dedicated "
+                f"{scheduler_name!r} switch model"
+            )
+        if adapter is not None:
+            raise ValueError(
+                f"adaptive scheduling is not supported by the dedicated "
                 f"{scheduler_name!r} switch model"
             )
         if scheduler_name == "outbuf":
@@ -137,6 +148,7 @@ def build_switch(
         tracer=tracer,
         metrics=metrics,
         injector=injector,
+        adapter=adapter,
     )
 
 
@@ -151,6 +163,7 @@ def run_simulation(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     faults: FaultPlan | dict | tuple | None = None,
+    adapter=None,
 ) -> SimResult:
     """Simulate one (scheduler, load) point of the Figure 12 grid.
 
@@ -169,6 +182,14 @@ def run_simulation(
     concrete failures the same way they see different traffic. A plan
     with nothing in it resolves to no injector at all — bit-identical
     to a fault-free run (property-tested).
+
+    ``adapter`` selects the fault stance (:mod:`repro.adapt`): an
+    adapter instance, an :class:`~repro.adapt.AdaptConfig`, or the
+    dict/spec wire form resolved by
+    :func:`~repro.adapt.adapter.make_adapter` (``policy`` key picks
+    ``"adaptive"`` or ``"oblivious"``; empty/None means the informed
+    default). The adapter is reset before the run so a reused instance
+    cannot leak learned state across simulations.
     """
     if isinstance(traffic, TrafficPattern):
         pattern = traffic
@@ -183,6 +204,13 @@ def run_simulation(
         if not plan.is_null:
             injector = FaultInjector(plan, config.n_ports, seed=config.seed)
 
+    if adapter is not None:
+        from repro.adapt.adapter import make_adapter
+
+        adapter = make_adapter(adapter)
+        if adapter is not None:
+            adapter.reset()
+
     switch = build_switch(
         config,
         scheduler_name,
@@ -192,6 +220,7 @@ def run_simulation(
         tracer=tracer,
         metrics=metrics,
         injector=injector,
+        adapter=adapter,
     )
 
     for slot in range(config.total_slots):

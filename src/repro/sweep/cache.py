@@ -57,6 +57,13 @@ def point_key(config: SimConfig, point: SweepPoint) -> str:
         payload["faults"] = sorted(
             [key, repr(value)] for key, value in point.fault_kwargs
         )
+    if getattr(point, "adapt_kwargs", ()):
+        # Same deal for the scheduling stance — non-empty even at zero
+        # faults (a starvation-mode adapter can act without any), so it
+        # is always folded in when present.
+        payload["adapt"] = sorted(
+            [key, repr(value)] for key, value in point.adapt_kwargs
+        )
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

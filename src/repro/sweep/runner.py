@@ -60,6 +60,7 @@ def _run_point(
     index, config, point, profile_dir = args
     start = time.perf_counter()
     faults = dict(point.fault_kwargs) or None
+    adapter = dict(point.adapt_kwargs) or None
     if profile_dir is not None:
         profiler = cProfile.Profile()
         result = profiler.runcall(
@@ -70,6 +71,7 @@ def _run_point(
             traffic=point.traffic,
             traffic_kwargs=dict(point.traffic_kwargs),
             faults=faults,
+            adapter=adapter,
         )
         profiler.dump_stats(_profile_path(profile_dir, index, point))
     else:
@@ -80,6 +82,7 @@ def _run_point(
             traffic=point.traffic,
             traffic_kwargs=dict(point.traffic_kwargs),
             faults=faults,
+            adapter=adapter,
         )
     return index, result, time.perf_counter() - start, os.getpid()
 

@@ -39,6 +39,11 @@ class SweepPoint:
     #: fault-free points hash to the same cache keys as before this
     #: field existed).
     fault_kwargs: tuple[tuple[str, object], ...] = ()
+    #: Flattened adapter spec (:meth:`repro.adapt.AdaptConfig.to_spec`
+    #: or ``(("policy", "oblivious"),)``); empty for the informed
+    #: default stance — and, like ``fault_kwargs``, invisible to the
+    #: cache key when empty so historical keys are unchanged.
+    adapt_kwargs: tuple[tuple[str, object], ...] = ()
 
     @property
     def grid_key(self) -> tuple[str, float]:
@@ -66,6 +71,10 @@ class SweepSpec:
     #: Fault plan applied to every point of the grid, as the flat
     #: ``FaultPlan.to_spec()`` pairs (keeps the spec hashable/frozen).
     fault_kwargs: tuple[tuple[str, object], ...] = ()
+    #: Scheduling stance applied to every point, as the flat adapter
+    #: spec pairs (see :func:`repro.adapt.make_adapter`); empty keeps
+    #: the informed default.
+    adapt_kwargs: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.replicates < 1:
@@ -95,6 +104,7 @@ class SweepSpec:
                 seed=self.seed_for(replicate),
                 replicate=replicate,
                 fault_kwargs=self.fault_kwargs,
+                adapt_kwargs=self.adapt_kwargs,
             )
             for name in self.schedulers
             for load in self.loads

@@ -1,0 +1,156 @@
+"""Satellite property: adaptive wrapping never breaks scheduling.
+
+For any fault plan and any registry crossbar scheduler wrapped in
+:class:`AdaptiveLCF`, every schedule the scheduler emits must be a valid
+conflict-free matching over the requests it was shown — and with a null
+plan the wrapper must be *absent*, not inert: statistics and event
+traces bit-identical to the unwrapped scheduler.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adapt import AdaptConfig, AdaptiveLCF
+from repro.baselines.registry import SPECIAL_SWITCH_NAMES, available_schedulers
+from repro.faults import FaultPlan, LinkOutage
+from repro.matching.verify import is_conflict_free, is_valid_schedule
+from repro.obs.tracer import RingTracer
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+from repro.types import NO_GRANT
+
+CROSSBAR_SCHEDULERS = tuple(
+    name for name in available_schedulers() if name not in SPECIAL_SWITCH_NAMES
+)
+
+N = 4
+CONFIG = SimConfig(n_ports=N, warmup_slots=10, measure_slots=60, seed=6)
+
+
+class RecordingAdaptive(AdaptiveLCF):
+    """AdaptiveLCF that checks the matching invariants on every slot."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.slots_checked = 0
+        self._seen = None
+
+    def filter_requests(self, slot, matrix):
+        seen = super().filter_requests(slot, matrix)
+        self._seen = seen.copy()
+        return seen
+
+    def observe(self, slot, proposed, applied):
+        # The scheduler's output over the filtered requests must be a
+        # valid conflict-free matching of exactly those requests...
+        assert is_conflict_free(proposed), (slot, proposed)
+        assert is_valid_schedule(self._seen, proposed), (slot, proposed)
+        # ...and the fabric can only remove grants, never add or move.
+        for i in range(len(applied)):
+            assert applied[i] == proposed[i] or applied[i] == NO_GRANT
+        # Any grant the estimator let through on a blocked crosspoint
+        # must have been one of this slot's probes.
+        blocked = self.estimator.blocked
+        for i in range(len(proposed)):
+            j = int(proposed[i])
+            if j != NO_GRANT and blocked[i, j]:
+                assert self.estimator.was_probe(i, j), (slot, i, j)
+        self.slots_checked += 1
+        super().observe(slot, proposed, applied)
+
+
+def fault_plans(n=N, horizon=70):
+    """Null, duty-cycled, and explicit link-outage plans."""
+    link = st.builds(
+        LinkOutage,
+        input=st.integers(0, n - 1),
+        output=st.integers(0, n - 1),
+        start=st.integers(0, horizon // 2),
+        end=st.integers(horizon // 2, horizon),
+    )
+    return st.one_of(
+        st.just(FaultPlan()),
+        st.floats(0.5, 0.95).map(
+            lambda a: FaultPlan.availability(n, a, period=40)
+        ),
+        st.lists(link, min_size=1, max_size=3).map(
+            lambda links: FaultPlan(link_down=tuple(links))
+        ),
+    )
+
+
+@pytest.mark.slow
+@given(
+    scheduler=st.sampled_from(CROSSBAR_SCHEDULERS),
+    plan=fault_plans(),
+    load=st.floats(0.2, 1.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_every_adaptive_schedule_is_a_valid_matching(scheduler, plan, load, seed):
+    config = SimConfig(n_ports=N, warmup_slots=5, measure_slots=40, seed=seed)
+    adapter = RecordingAdaptive(AdaptConfig())
+    run_simulation(config, scheduler, load, faults=plan, adapter=adapter)
+    assert adapter.slots_checked == config.warmup_slots + config.measure_slots
+
+
+@pytest.mark.parametrize("scheduler", CROSSBAR_SCHEDULERS)
+def test_null_plan_adaptive_is_bit_identical(scheduler):
+    plain = run_simulation(CONFIG, scheduler, 0.7)
+    wrapped = run_simulation(
+        CONFIG, scheduler, 0.7, faults=FaultPlan(), adapter=AdaptiveLCF()
+    )
+    assert plain.row() == wrapped.row()
+
+
+def test_null_plan_adaptive_traces_are_identical():
+    def traced(**kwargs):
+        tracer = RingTracer(1 << 16)
+        result = run_simulation(
+            CONFIG, "lcf_dist_rr", 0.7, tracer=tracer, **kwargs
+        )
+        return result, tracer.events
+
+    plain_result, plain_events = traced()
+    wrapped_result, wrapped_events = traced(
+        faults=FaultPlan(), adapter=AdaptiveLCF()
+    )
+    assert plain_result.row() == wrapped_result.row()
+    assert plain_events == wrapped_events
+
+
+def test_no_faults_means_nothing_learned():
+    adapter = RecordingAdaptive()
+    run_simulation(CONFIG, "lcf_central_rr", 0.9, adapter=adapter)
+    estimator = adapter.estimator
+    assert estimator.suspect_events == 0
+    assert estimator.probe_events == 0
+    assert not estimator.blocked.any()
+
+
+@pytest.mark.slow
+@given(
+    scheduler=st.sampled_from(CROSSBAR_SCHEDULERS),
+    load=st.floats(0.1, 1.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_null_plan_bit_identity_property(scheduler, load, seed):
+    config = SimConfig(n_ports=N, warmup_slots=5, measure_slots=40, seed=seed)
+    plain = run_simulation(config, scheduler, load)
+    wrapped = run_simulation(
+        config, scheduler, load, faults=FaultPlan(),
+        adapter={"policy": "adaptive"},
+    )
+    assert plain.row() == wrapped.row()
+
+
+def test_oblivious_null_plan_is_also_bit_identical():
+    plain = run_simulation(CONFIG, "islip", 0.7)
+    blind = run_simulation(
+        CONFIG, "islip", 0.7, faults=FaultPlan(),
+        adapter={"policy": "oblivious"},
+    )
+    assert plain.row() == blind.row()

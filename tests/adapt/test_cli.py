@@ -1,0 +1,134 @@
+"""``lcf-adapt`` CLI end-to-end, including the negative paths."""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.adapt import cli
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from check_trace_schema import check_trace  # noqa: E402
+
+FAST = ("--ports", "4", "--slots", "80", "--warmup", "10", "--seed", "3")
+
+
+def run_cli(capsys, *argv):
+    code = cli.main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_single_run_compares_stances_and_writes_artifacts(tmp_path, capsys):
+    trace = tmp_path / "adapt.jsonl"
+    report = tmp_path / "adapt.json"
+    code, stdout, _ = run_cli(
+        capsys,
+        *FAST,
+        "--scheduler", "lcf_central_rr", "--availability", "0.8",
+        "--trace-out", str(trace), "--json", str(report),
+    )
+    assert code == 0
+    assert "oblivious" in stdout and "adaptive" in stdout
+    assert "suspect" in stdout  # estimator summary line
+    checked, errors = check_trace(trace)
+    assert errors == []
+    assert checked > 80
+    payload = json.loads(report.read_text())
+    assert payload["mode"] == "single"
+    assert payload["adapt"]["policy"] == "adaptive"
+    assert set(payload) >= {"oblivious", "adaptive", "plan"}
+
+
+def test_single_run_defaults_to_a_degraded_plan(capsys):
+    code, stdout, _ = run_cli(capsys, *FAST, "--scheduler", "lcf_dist_rr")
+    assert code == 0
+    assert "fault plan:" in stdout
+    assert "reaction:" in stdout
+
+
+def test_reaction_flags_reach_the_config(capsys):
+    code, stdout, _ = run_cli(
+        capsys, *FAST, "--mode", "ewma", "--probe-interval", "8",
+        "--link-down", "0:1:10:40",
+    )
+    assert code == 0
+    assert "ewma" in stdout
+    assert "probe every 8" in stdout
+
+
+def test_grid_mode_writes_comparison_artifacts(tmp_path, capsys):
+    csv = tmp_path / "adapt.csv"
+    report = tmp_path / "adapt.json"
+    code, stdout, _ = run_cli(
+        capsys,
+        *FAST,
+        "--schedulers", "lcf_dist_rr",
+        "--availability-grid", "1.0,0.8",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--csv", str(csv), "--json", str(report),
+    )
+    assert code == 0
+    assert "adaptive vs oblivious" in stdout
+    assert csv.read_text().count("\n") >= 4
+    payload = json.loads(report.read_text())
+    assert payload["mode"] == "availability"
+    assert payload["adapt"]["policy"] == "adaptive"
+    # one row per (scheduler, availability, stance)
+    assert len(payload["rows"]) == 1 * 2 * 2
+
+
+# -- negative paths ----------------------------------------------------------
+
+
+def test_negative_seed_rejected(capsys):
+    code, _, stderr = run_cli(capsys, "--seed", "-1")
+    assert code == 2
+    assert "--seed" in stderr
+
+
+def test_zero_ports_rejected(capsys):
+    code, _, stderr = run_cli(capsys, "--ports", "0")
+    assert code == 2
+    assert "--ports" in stderr
+
+
+def test_empty_availability_grid_rejected(capsys):
+    code, _, stderr = run_cli(capsys, "--availability-grid", ",")
+    assert code == 2
+    assert "no values" in stderr
+
+
+def test_invalid_reaction_config_rejected(capsys):
+    code, _, stderr = run_cli(capsys, *FAST, "--probe-interval", "0")
+    assert code == 2
+    assert "invalid reaction config" in stderr
+
+
+def test_invalid_fault_plan_rejected(capsys):
+    code, _, stderr = run_cli(capsys, *FAST, "--availability", "1.5")
+    assert code == 2
+    assert "invalid fault plan" in stderr
+
+
+def test_special_switch_rejected_in_both_modes(capsys):
+    code, _, stderr = run_cli(capsys, *FAST, "--scheduler", "fifo")
+    assert code == 2
+    assert "fifo" in stderr
+    code, _, stderr = run_cli(
+        capsys, *FAST, "--schedulers", "fifo,lcf_dist_rr",
+        "--availability-grid", "1.0",
+    )
+    assert code == 2
+    assert "fifo" in stderr
+
+
+def test_failed_run_leaves_no_artifacts(tmp_path, capsys):
+    report = tmp_path / "never.json"
+    code, _, _ = run_cli(
+        capsys, *FAST, "--availability", "1.5", "--json", str(report)
+    )
+    assert code == 2
+    assert not report.exists()
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,140 @@
+"""AdaptConfig validation, spec round-trips, and adapter resolution."""
+
+import pytest
+
+from repro.adapt import (
+    AdaptConfig,
+    AdaptiveLCF,
+    ObliviousAdapter,
+    SchedulingAdapter,
+    make_adapter,
+)
+
+
+def test_defaults_are_valid_and_count_mode():
+    config = AdaptConfig()
+    assert config.mode == "count"
+    assert config.detection_window >= 1
+    assert config.probe_interval >= 1
+
+
+def test_default_spec_is_policy_only():
+    assert AdaptConfig().to_spec() == (("policy", "adaptive"),)
+
+
+def test_spec_includes_only_non_default_fields_sorted():
+    config = AdaptConfig(mode="ewma", probe_interval=8)
+    spec = AdaptConfig(mode="ewma", probe_interval=8).to_spec()
+    assert spec == tuple(sorted(spec))
+    assert dict(spec) == {"policy": "adaptive", "mode": "ewma", "probe_interval": 8}
+    assert AdaptConfig.from_spec(spec) == config
+
+
+@pytest.mark.parametrize(
+    "fields",
+    [
+        {},
+        {"detection_window": 5, "probation_window": 2},
+        {"mode": "ewma", "ewma_alpha": 0.5, "suspect_threshold": 0.3},
+        {"starvation_window": 12, "port_detection_window": 0},
+    ],
+)
+def test_spec_round_trip(fields):
+    config = AdaptConfig(**fields)
+    assert AdaptConfig.from_spec(config.to_spec()) == config
+    assert AdaptConfig.from_spec(dict(config.to_spec())) == config
+
+
+def test_from_spec_rejects_oblivious_policy():
+    with pytest.raises(ValueError, match="policy"):
+        AdaptConfig.from_spec({"policy": "oblivious"})
+
+
+def test_from_spec_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown"):
+        AdaptConfig.from_spec({"definitely_not_a_field": 1})
+
+
+@pytest.mark.parametrize(
+    "fields",
+    [
+        {"mode": "bogus"},
+        {"detection_window": 0},
+        {"probation_window": 0},
+        {"probe_interval": 0},
+        {"port_detection_window": -1},
+        {"starvation_window": -5},
+        {"ewma_alpha": 0.0},
+        {"ewma_alpha": 1.5},
+        {"suspect_threshold": 1.2},
+        {"readmit_threshold": -0.1},
+        {"suspect_threshold": 0.8, "readmit_threshold": 0.4},
+    ],
+)
+def test_invalid_fields_rejected(fields):
+    with pytest.raises(ValueError):
+        AdaptConfig(**fields)
+
+
+def test_describe_mentions_the_mode_parameters():
+    assert "detect after" in AdaptConfig().describe()
+    assert "ewma" in AdaptConfig(mode="ewma").describe()
+
+
+# -- make_adapter resolution -------------------------------------------------
+
+
+@pytest.mark.parametrize("spec", [None, (), {}, []])
+def test_empty_specs_mean_no_adapter(spec):
+    assert make_adapter(spec) is None
+
+
+def test_existing_adapter_passes_through():
+    adapter = AdaptiveLCF()
+    assert make_adapter(adapter) is adapter
+
+
+def test_config_object_wraps_in_adaptive():
+    config = AdaptConfig(detection_window=7)
+    adapter = make_adapter(config)
+    assert isinstance(adapter, AdaptiveLCF)
+    assert adapter.config is config
+
+
+def test_wire_form_builds_adaptive_with_fields():
+    adapter = make_adapter({"policy": "adaptive", "probe_interval": 2})
+    assert isinstance(adapter, AdaptiveLCF)
+    assert adapter.config.probe_interval == 2
+    # policy defaults to adaptive when omitted
+    assert isinstance(make_adapter({"detection_window": 2}), AdaptiveLCF)
+
+
+def test_wire_form_builds_oblivious():
+    adapter = make_adapter({"policy": "oblivious"})
+    assert isinstance(adapter, ObliviousAdapter)
+    assert adapter.to_spec() == (("policy", "oblivious"),)
+
+
+def test_oblivious_rejects_config_keys():
+    with pytest.raises(ValueError, match="oblivious"):
+        make_adapter({"policy": "oblivious", "detection_window": 2})
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="unknown adapter policy"):
+        make_adapter({"policy": "psychic"})
+
+
+def test_adaptive_rejects_config_and_kwargs_together():
+    with pytest.raises(ValueError, match="not both"):
+        AdaptiveLCF(AdaptConfig(), detection_window=2)
+
+
+def test_base_adapter_is_a_pure_pass_through():
+    import numpy as np
+
+    adapter = SchedulingAdapter()
+    adapter.bind(4)
+    matrix = np.ones((4, 4), dtype=bool)
+    assert adapter.filter_requests(0, matrix) is matrix
+    assert adapter.to_spec() == (("policy", "oblivious"),)

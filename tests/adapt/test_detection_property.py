@@ -1,0 +1,131 @@
+"""Satellite property: detection and readmission obey their windows.
+
+A permanent crosspoint outage must turn suspect within the configured
+detection window, be granted only on the probe cadence afterwards, and
+be readmitted within the probation window once it recovers — bounds
+asserted exactly, not just "eventually".
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adapt import AdaptConfig, AdaptiveLCF, HealthEstimator
+from repro.faults import FaultPlan, LinkOutage
+from repro.obs.tracer import RingTracer
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+from repro.types import NO_GRANT
+
+
+@pytest.mark.slow
+@given(
+    detection_window=st.integers(1, 5),
+    probation_window=st.integers(1, 3),
+    probe_interval=st.integers(1, 8),
+    outage_start=st.integers(0, 10),
+    outage_length=st.integers(8, 40),
+    seed_j=st.integers(1, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_outage_lifecycle_bounds(
+    detection_window, probation_window, probe_interval,
+    outage_start, outage_length, seed_j,
+):
+    n = 4
+    config = AdaptConfig(
+        detection_window=detection_window,
+        probation_window=probation_window,
+        probe_interval=probe_interval,
+        port_detection_window=0,
+    )
+    estimator = HealthEstimator(n, config)
+    matrix = np.zeros((n, n), dtype=bool)
+    matrix[0, seed_j] = True
+    recovery = outage_start + outage_length
+    horizon = recovery + probe_interval * (probation_window + 2) + 4
+
+    suspect_slot = None
+    readmit_slot = None
+    granted = []
+    probes = []
+    for slot in range(horizon):
+        seen = estimator.usable(slot, matrix)
+        proposed = np.full(n, NO_GRANT, dtype=np.int64)
+        if seen[0, seed_j]:
+            proposed[0] = seed_j
+            granted.append(slot)
+            if estimator.was_probe(0, seed_j):
+                probes.append(slot)
+        applied = proposed.copy()
+        if outage_start <= slot < recovery:
+            applied[0] = NO_GRANT
+        estimator.observe(slot, proposed, applied)
+        if suspect_slot is None and estimator.blocked[0, seed_j]:
+            suspect_slot = slot
+        elif suspect_slot is not None and readmit_slot is None \
+                and not estimator.blocked[0, seed_j]:
+            readmit_slot = slot
+
+    # Detection: suspicion lands exactly detection_window failed grants
+    # into the outage (the flow is offered every slot until then).
+    assert suspect_slot == outage_start + detection_window - 1
+
+    # Quarantine: while suspect the crosspoint is granted *only* via
+    # probes, and those sit exactly on the configured cadence. (The
+    # readmission slot itself is the last probe; afterwards service is
+    # normal again.)
+    assert readmit_slot is not None
+    quarantined = [
+        slot for slot in granted if suspect_slot < slot <= readmit_slot
+    ]
+    assert quarantined == probes
+    assert all(
+        (slot - suspect_slot) % probe_interval == 0 for slot in quarantined
+    )
+
+    # Readmission: the first probe at or after recovery starts the
+    # probation count, one success per probe interval — so readmission
+    # lands within probation_window probe intervals of recovery.
+    assert readmit_slot >= recovery
+    assert readmit_slot <= recovery + probe_interval * probation_window
+
+    # Steady state afterwards: full service, still readmitted.
+    assert not estimator.blocked.any()
+    assert set(range(readmit_slot + 1, horizon)) <= set(granted)
+    assert estimator.suspect_events == 1
+    assert estimator.readmit_events == 1
+    assert estimator.false_positives == 0
+
+
+def test_end_to_end_outage_emits_ordered_lifecycle_events():
+    """Through the full switch: suspect -> probes -> readmit, in order."""
+    plan = FaultPlan(link_down=(LinkOutage(0, 1, 20, 70),))
+    tracer = RingTracer(1 << 16)
+    config = SimConfig(n_ports=4, warmup_slots=0, measure_slots=120, seed=3)
+    adapter = AdaptiveLCF(AdaptConfig(port_detection_window=0))
+    run_simulation(
+        config, "lcf_central_rr", 0.9, tracer=tracer,
+        faults=plan, adapter=adapter,
+    )
+    suspects = [
+        e for e in tracer.events
+        if e["type"] == "suspect" and (e["input"], e["output"]) == (0, 1)
+    ]
+    readmits = [
+        e for e in tracer.events
+        if e["type"] == "readmit" and (e["input"], e["output"]) == (0, 1)
+    ]
+    probes = [
+        e for e in tracer.events
+        if e["type"] == "probe" and (e["input"], e["output"]) == (0, 1)
+    ]
+    assert suspects, "outage was never detected"
+    first_suspect = suspects[0]["slot"]
+    assert 20 <= first_suspect < 70
+    assert probes and all(e["slot"] > first_suspect for e in probes)
+    assert readmits, "recovered crosspoint was never readmitted"
+    assert readmits[0]["slot"] >= 70
+    assert not adapter.estimator.blocked.any()
+    assert adapter.estimator.false_positives == 0

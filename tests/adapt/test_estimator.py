@@ -1,0 +1,307 @@
+"""HealthEstimator state machine under hand-driven observation streams.
+
+Every test drives the estimator the way :class:`repro.adapt.AdaptiveLCF`
+does — ``usable`` before scheduling, ``observe`` after the fabric gate —
+but with handcrafted schedules, so each transition (suspect, probe,
+readmit, port escalation, starvation) is pinned at exact slots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adapt import AdaptConfig, HealthEstimator
+from repro.obs.events import validate_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import RingTracer
+from repro.types import NO_GRANT
+
+
+def single_flow_matrix(n=4, i=0, j=1):
+    matrix = np.zeros((n, n), dtype=bool)
+    matrix[i, j] = True
+    return matrix
+
+
+def drive_single_flow(estimator, slot, matrix, up, i=0, j=1):
+    """One adapter slot for a single persistent flow ``(i, j)``.
+
+    Proposes the grant whenever the estimator lets the request through;
+    the fabric applies it only when ``up``. Returns whether the flow
+    was offered to the scheduler this slot.
+    """
+    n = estimator.n
+    seen = estimator.usable(slot, matrix)
+    proposed = np.full(n, NO_GRANT, dtype=np.int64)
+    if seen[i, j]:
+        proposed[i] = j
+    applied = proposed.copy()
+    if not up:
+        applied[i] = NO_GRANT
+    estimator.observe(slot, proposed, applied)
+    return bool(seen[i, j])
+
+
+CONFIG = AdaptConfig(
+    detection_window=3, probation_window=1, probe_interval=4,
+    port_detection_window=0,
+)
+
+
+def test_permanent_outage_suspected_after_detection_window():
+    tracer = RingTracer(1 << 10)
+    estimator = HealthEstimator(4, CONFIG, tracer=tracer)
+    matrix = single_flow_matrix()
+    for slot in range(3):
+        assert not estimator.blocked.any()
+        drive_single_flow(estimator, slot, matrix, up=False)
+    # Third consecutive failed grant (slot 2) trips the window.
+    assert estimator.blocked[0, 1]
+    assert estimator.suspect_events == 1
+    [event] = [e for e in tracer.events if e["type"] == "suspect"]
+    assert event["slot"] == 2
+    assert event["scope"] == "link"
+    assert event["fails"] == CONFIG.detection_window
+    assert validate_event(event) == []
+
+
+def test_suspect_offered_only_on_probe_cadence():
+    estimator = HealthEstimator(4, CONFIG)
+    matrix = single_flow_matrix()
+    offered = {}
+    for slot in range(24):
+        offered[slot] = drive_single_flow(estimator, slot, matrix, up=False)
+    # Service slots until suspicion at slot 2, probes every 4 after.
+    suspect_slot = 2
+    for slot, got in offered.items():
+        if slot <= suspect_slot:
+            assert got, slot
+        else:
+            expected = (slot - suspect_slot) % CONFIG.probe_interval == 0
+            assert got == expected, slot
+    probe_slots = [s for s in offered if s > suspect_slot and offered[s]]
+    assert estimator.probe_events == len(probe_slots)
+
+
+def test_readmission_on_first_successful_probe():
+    tracer = RingTracer(1 << 10)
+    estimator = HealthEstimator(4, CONFIG, tracer=tracer)
+    matrix = single_flow_matrix()
+    recovery = 8
+    served = []
+    for slot in range(20):
+        up = slot >= recovery
+        if drive_single_flow(estimator, slot, matrix, up=up) and up:
+            served.append(slot)
+    # Suspect at 2; probes at 6 (fails) and 10 (first success, probation
+    # window 1 -> immediate readmission); full service afterwards.
+    [readmit] = [e for e in tracer.events if e["type"] == "readmit"]
+    assert readmit["slot"] == 10
+    assert readmit["after"] == 8
+    assert validate_event(readmit) == []
+    assert not estimator.blocked.any()
+    assert served == [10] + list(range(11, 20))
+    assert estimator.readmit_events == 1
+
+
+def test_probation_window_requires_consecutive_probe_successes():
+    config = AdaptConfig(
+        detection_window=3, probation_window=2, probe_interval=4,
+        port_detection_window=0,
+    )
+    tracer = RingTracer(1 << 10)
+    estimator = HealthEstimator(4, config, tracer=tracer)
+    matrix = single_flow_matrix()
+    for slot in range(20):
+        drive_single_flow(estimator, slot, matrix, up=slot >= 8)
+    # Probes at 6 (fails), 10 and 14 succeed -> readmitted at 14.
+    [readmit] = [e for e in tracer.events if e["type"] == "readmit"]
+    assert readmit["slot"] == 14
+
+
+def test_port_outage_escalates_to_port_suspect_and_clears_optimistically():
+    config = AdaptConfig(
+        detection_window=2, probation_window=1, probe_interval=4,
+        port_detection_window=3,
+    )
+    tracer = RingTracer(1 << 12)
+    estimator = HealthEstimator(4, config, tracer=tracer)
+    # Every input wants output 2; the whole output port is down.
+    matrix = np.zeros((4, 4), dtype=bool)
+    matrix[:, 2] = True
+    recovery = 12
+    for slot in range(20):
+        seen = estimator.usable(slot, matrix)
+        proposed = np.full(4, NO_GRANT, dtype=np.int64)
+        candidates = np.flatnonzero(seen[:, 2])
+        if candidates.size:
+            proposed[candidates[0]] = 2
+        applied = proposed.copy()
+        if slot < recovery:
+            applied[:] = NO_GRANT
+        estimator.observe(slot, proposed, applied)
+    port_suspects = [
+        e for e in tracer.events
+        if e["type"] == "suspect" and e["scope"] == "output"
+    ]
+    assert len(port_suspects) == 1
+    # Three consecutive column failures beat per-crosspoint detection.
+    assert port_suspects[0]["slot"] == 2
+    assert port_suspects[0]["output"] == 2
+    assert port_suspects[0]["input"] == -1
+    for event in tracer.events:
+        assert validate_event(event) == [], event
+    # After recovery one successful port probe readmits the port and
+    # optimistically clears the crosspoint suspects raised by the same
+    # outage — the whole column returns, not one link per interval.
+    assert not estimator.blocked.any()
+    port_readmits = [
+        e for e in tracer.events
+        if e["type"] == "readmit" and e["scope"] == "output"
+    ]
+    assert len(port_readmits) == 1
+
+
+def test_ewma_mode_suspects_and_readmits_with_hysteresis():
+    config = AdaptConfig(
+        mode="ewma", ewma_alpha=0.5, suspect_threshold=0.5,
+        readmit_threshold=0.75, probe_interval=2, port_detection_window=0,
+    )
+    estimator = HealthEstimator(2, config)
+    matrix = single_flow_matrix(n=2, i=0, j=1)
+    suspect_slot = None
+    readmit_slot = None
+    for slot in range(16):
+        drive_single_flow(estimator, slot, matrix, up=slot >= 4, i=0, j=1)
+        if suspect_slot is None and estimator.blocked[0, 1]:
+            suspect_slot = slot
+        if suspect_slot is not None and readmit_slot is None \
+                and not estimator.blocked[0, 1]:
+            readmit_slot = slot
+    # health 1 -> .5 -> .25 (< .5): suspect on the second failure.
+    assert suspect_slot == 1
+    # Two successful probes lift .25 -> .625 -> .8125 (>= .75).
+    assert readmit_slot is not None
+    assert estimator.readmit_events == 1
+
+
+def test_starvation_signal_detects_without_any_grants():
+    config = AdaptConfig(
+        detection_window=3, starvation_window=2, port_detection_window=0,
+    )
+    estimator = HealthEstimator(4, config)
+    matrix = single_flow_matrix()
+    idle = np.full(4, NO_GRANT, dtype=np.int64)
+    suspect_slot = None
+    for slot in range(10):
+        estimator.usable(slot, matrix)
+        estimator.observe(slot, idle, idle)
+        if suspect_slot is None and estimator.blocked[0, 1]:
+            suspect_slot = slot
+    # Strikes at slots 2, 4, 6 (one per starvation window) trip the
+    # three-strike detection window with no grant ever proposed.
+    assert suspect_slot == 6
+    assert estimator.suspect_events == 1
+
+
+def test_starvation_disabled_by_default():
+    estimator = HealthEstimator(4, CONFIG)
+    matrix = single_flow_matrix()
+    idle = np.full(4, NO_GRANT, dtype=np.int64)
+    for slot in range(40):
+        assert estimator.usable(slot, matrix) is matrix
+        estimator.observe(slot, idle, idle)
+    assert not estimator.blocked.any()
+    assert estimator.suspect_events == 0
+
+
+def test_truth_scores_detection_latency_without_false_positives():
+    metrics = MetricsRegistry()
+    estimator = HealthEstimator(4, CONFIG, metrics=metrics)
+    matrix = single_flow_matrix()
+    truth = np.ones((4, 4), dtype=bool)
+    outage_start = 5
+    for slot in range(12):
+        down = slot >= outage_start
+        mask = truth.copy()
+        if down:
+            mask[0, 1] = False
+        estimator.note_truth(slot, mask)
+        drive_single_flow(estimator, slot, matrix, up=not down)
+    hist = metrics.histogram(
+        "detection_latency", (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+    )
+    assert hist.count == 1
+    # Suspect fires detection_window slots into the outage.
+    assert hist.mean == CONFIG.detection_window - 1
+    assert estimator.false_positives == 0
+    assert metrics.counter("adapt_false_positives").value == 0
+
+
+def test_suspecting_a_healthy_crosspoint_counts_as_false_positive():
+    config = AdaptConfig(
+        detection_window=1, starvation_window=1, port_detection_window=0,
+    )
+    metrics = MetricsRegistry()
+    estimator = HealthEstimator(4, config, metrics=metrics)
+    matrix = single_flow_matrix()
+    truth = np.ones((4, 4), dtype=bool)
+    idle = np.full(4, NO_GRANT, dtype=np.int64)
+    for slot in range(4):
+        estimator.note_truth(slot, truth)
+        estimator.usable(slot, matrix)
+        estimator.observe(slot, idle, idle)
+        if estimator.false_positives:
+            break
+    # The starved-but-healthy crosspoint was suspected against truth.
+    assert estimator.false_positives == 1
+    assert metrics.counter("adapt_false_positives").value == 1
+
+
+def test_zero_state_fast_path_returns_the_input_object():
+    estimator = HealthEstimator(4, CONFIG)
+    matrix = np.ones((4, 4), dtype=bool)
+    assert estimator.usable(0, matrix) is matrix
+
+
+def test_reset_restores_power_on_state():
+    estimator = HealthEstimator(4, CONFIG)
+    matrix = single_flow_matrix()
+    for slot in range(6):
+        drive_single_flow(estimator, slot, matrix, up=False)
+    assert estimator.blocked.any()
+    estimator.reset()
+    assert not estimator.blocked.any()
+    assert estimator.suspect_events == 0
+    assert estimator.probe_events == 0
+    assert estimator.usable(0, matrix) is matrix
+
+
+def test_attach_late_binds_instrumentation():
+    estimator = HealthEstimator(4, CONFIG)
+    tracer = RingTracer(1 << 10)
+    metrics = MetricsRegistry()
+    estimator.attach(tracer, metrics)
+    matrix = single_flow_matrix()
+    for slot in range(3):
+        drive_single_flow(estimator, slot, matrix, up=False)
+    assert any(e["type"] == "suspect" for e in tracer.events)
+    assert metrics.counter("suspects").value == 1
+
+
+def test_rejects_empty_switch():
+    with pytest.raises(ValueError, match="at least 1 port"):
+        HealthEstimator(0)
+
+
+def test_health_score_shape_and_range():
+    for mode in ("count", "ewma"):
+        estimator = HealthEstimator(
+            4, AdaptConfig(mode=mode, port_detection_window=0)
+        )
+        matrix = single_flow_matrix()
+        for slot in range(4):
+            drive_single_flow(estimator, slot, matrix, up=False)
+        score = estimator.health_score()
+        assert score.shape == (4, 4)
+        assert (score >= 0).all() and (score <= 1).all()
+        assert score[0, 1] < score[2, 3]

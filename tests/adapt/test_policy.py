@@ -1,0 +1,54 @@
+"""BackupPortPolicy ranking: health-descending, slot-rotated, pure."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import BackupPortPolicy
+
+POLICY = BackupPortPolicy()
+
+
+def _mask(n, *indices):
+    mask = np.zeros(n, dtype=bool)
+    for j in indices:
+        mask[j] = True
+    return mask
+
+
+def test_rank_orders_by_descending_health():
+    health = np.array([0.1, 0.9, 0.5, 0.7])
+    order = POLICY.rank(0, 0, _mask(4, 0, 1, 2, 3), health)
+    assert order == [1, 3, 2, 0]
+
+
+def test_rank_returns_only_candidates():
+    health = np.ones(4)
+    order = POLICY.rank(0, 0, _mask(4, 1, 3), health)
+    assert sorted(order) == [1, 3]
+
+
+def test_health_ties_rotate_with_the_slot():
+    health = np.ones(4)
+    candidates = _mask(4, 0, 1, 2, 3)
+    firsts = [POLICY.choose(slot, 0, candidates, health) for slot in range(4)]
+    # Each slot promotes a different equally-healthy candidate.
+    assert sorted(firsts) == [0, 1, 2, 3]
+
+
+def test_rank_is_deterministic():
+    health = np.array([0.2, 0.2, 0.8, 0.8])
+    candidates = _mask(4, 0, 1, 2, 3)
+    first = POLICY.rank(5, 2, candidates, health)
+    assert all(POLICY.rank(5, 2, candidates, health) == first for _ in range(3))
+
+
+def test_choose_is_the_top_of_rank():
+    health = np.array([0.3, 0.6, 0.1])
+    candidates = _mask(3, 0, 1, 2)
+    assert POLICY.choose(1, 1, candidates, health) == POLICY.rank(1, 1, candidates, health)[0]
+
+
+def test_empty_candidates_raise():
+    with pytest.raises(ValueError, match="no candidate"):
+        POLICY.choose(0, 0, np.zeros(4, dtype=bool), np.ones(4))
+    assert POLICY.rank(0, 0, np.zeros(4, dtype=bool), np.ones(4)) == []

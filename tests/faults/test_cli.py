@@ -102,3 +102,39 @@ def test_special_switch_rejected(capsys):
     code, _, stderr = run_cli(capsys, "--scheduler", "fifo", "--loss", "0.1")
     assert code == 2
     assert "fifo" in stderr
+
+
+def test_negative_seed_rejected_before_running(capsys):
+    code, _, stderr = run_cli(capsys, "--seed", "-1")
+    assert code == 2
+    assert "--seed" in stderr
+
+
+def test_zero_ports_rejected(capsys):
+    code, _, stderr = run_cli(capsys, "--ports", "0", "--loss", "0.1")
+    assert code == 2
+    assert "--ports" in stderr
+
+
+def test_empty_grids_rejected(capsys):
+    for flag in ("--loss-grid", "--availability-grid"):
+        code, _, stderr = run_cli(capsys, flag, ",")
+        assert code == 2
+        assert "no values" in stderr
+
+
+def test_invalid_loss_probability_rejected(capsys):
+    code, _, stderr = run_cli(capsys, *FAST, "--loss", "1.5")
+    assert code == 2
+    assert "invalid fault plan" in stderr
+
+
+def test_failed_run_leaves_no_artifacts(tmp_path, capsys):
+    report = tmp_path / "never.json"
+    csv = tmp_path / "never.csv"
+    code, _, _ = run_cli(
+        capsys, *FAST, "--loss", "1.5",
+        "--json", str(report), "--csv", str(csv),
+    )
+    assert code == 2
+    assert list(tmp_path.iterdir()) == []

@@ -23,6 +23,12 @@ class TestConstructorsMatchSchema:
             ev.fault(12, 3, "input"),
             ev.recovery(15, 3, "input", 8),
             ev.recovery(15, 3, "output"),
+            ev.suspect(16, 2, 3, "link", 3),
+            ev.suspect(16, 2, -1, "input", 4),
+            ev.probe(17, 2, 3, "link"),
+            ev.probe(17, -1, 3, "output"),
+            ev.readmit(18, 2, 3, "link", 12),
+            ev.readmit(18, -1, 3, "output", 20),
         ],
     )
     def test_every_constructor_validates(self, event):
@@ -41,6 +47,9 @@ class TestConstructorsMatchSchema:
             ev.slot_summary(0, 0, 0)["type"],
             ev.fault(0, 0, "input")["type"],
             ev.recovery(0, 0, "output")["type"],
+            ev.suspect(0, 0, 0, "link", 1)["type"],
+            ev.probe(0, 0, 0, "link")["type"],
+            ev.readmit(0, 0, 0, "link", 1)["type"],
         }
         assert built == set(ev.EVENT_TYPES)
 

@@ -1,13 +1,18 @@
-"""The reference trace must match the golden file byte for byte.
+"""Every reference trace must match its golden file byte for byte.
 
 Thin pytest wrapper around ``tools/check_trace_diff.py`` (CI also runs
-the script directly) so any behavioural drift in the simulator,
-scheduler, or trace schema fails the tier-1 suite. After an intentional
-change, re-golden with ``python tools/check_trace_diff.py --update``.
+the script directly) so any behavioural drift in the simulator, a
+scheduler, the adaptive fault-reaction loop, or the trace schema fails
+the tier-1 suite. After an intentional change, re-golden with
+``python tools/check_trace_diff.py --update``.
 """
 
 import importlib.util
+import json
+import sys
 from pathlib import Path
+
+import pytest
 
 TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_trace_diff.py"
 
@@ -15,29 +20,60 @@ TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_trace_diff.py"
 def load_tool():
     spec = importlib.util.spec_from_file_location("check_trace_diff", TOOL)
     module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves annotations through sys.modules[__module__],
+    # so the module must be registered before exec.
+    sys.modules[spec.name] = module
     spec.loader.exec_module(module)
     return module
 
 
-def test_reference_trace_matches_golden():
-    tool = load_tool()
-    assert tool.GOLDEN.exists(), "golden trace missing — run the tool with --update"
-    problems = tool.diff_traces(tool.GOLDEN.read_text(), tool.generate_trace())
+TOOL_MODULE = load_tool()
+GOLDEN_NAMES = tuple(run.name for run in TOOL_MODULE.GOLDENS)
+
+
+def golden(name):
+    return next(run for run in TOOL_MODULE.GOLDENS if run.name == name)
+
+
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_reference_trace_matches_golden(name):
+    run = golden(name)
+    assert run.path.exists(), (
+        f"golden '{name}' missing — run the tool with --update"
+    )
+    problems = TOOL_MODULE.diff_traces(
+        run.path.read_text(), TOOL_MODULE.generate_trace(run)
+    )
     assert not problems, "\n".join(problems)
 
 
-def test_golden_trace_is_schema_valid():
-    """The pinned golden file itself passes the event schema."""
-    import json
-
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_golden_trace_is_schema_valid(name):
+    """The pinned golden files themselves pass the event schema."""
     from repro.obs.events import validate_event
 
-    tool = load_tool()
     events = [
         json.loads(line)
-        for line in tool.GOLDEN.read_text().splitlines()
+        for line in golden(name).path.read_text().splitlines()
         if line.strip()
     ]
     assert len(events) > 100
     for event in events:
         assert validate_event(event) == [], event
+
+
+def test_adaptive_golden_pins_the_reaction_loop():
+    """The adaptive golden actually exercises suspect/probe/readmit."""
+    kinds = {
+        json.loads(line)["type"]
+        for line in golden("adaptive").path.read_text().splitlines()
+        if line.strip()
+    }
+    assert {"suspect", "probe", "readmit"} <= kinds
+
+
+def test_legacy_single_golden_entry_points_still_work():
+    """Back-compat: GOLDEN / generate_trace() name the reference run."""
+    assert TOOL_MODULE.GOLDEN == golden("reference").path
+    fresh = TOOL_MODULE.generate_trace()
+    assert TOOL_MODULE.diff_traces(golden("reference").path.read_text(), fresh) == []

@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
-"""Diff a freshly generated event trace against the golden trace.
+"""Diff freshly generated event traces against the pinned golden traces.
 
-The golden trace (``tests/data/golden_trace.jsonl``) pins the exact
-event stream of one reference simulation — scheduler ``lcf_central_rr``,
-4 ports, seed 7, load 0.85, 20 warmup + 100 measured slots. Because
-every simulation is a pure function of its seed, the regenerated trace
-must match the golden file *byte for byte*; any divergence means the
-simulator, scheduler, or trace schema changed behaviour, and CI fails
-until the change is either fixed or deliberately re-goldened.
+Each golden trace pins the exact event stream of one reference
+simulation. Because every simulation is a pure function of its seed, a
+regenerated trace must match its golden file *byte for byte*; any
+divergence means the simulator, a scheduler, the adaptive layer, or the
+trace schema changed behaviour, and CI fails until the change is either
+fixed or deliberately re-goldened.
+
+Two goldens are pinned:
+
+* ``reference`` — a plain fault-free run (``lcf_central_rr``, 4 ports,
+  seed 7, load 0.85, 20 warmup + 100 measured slots): the baseline
+  behavioural pin since PR 2.
+* ``adaptive`` — the same run under a fixed :class:`FaultPlan` with an
+  :class:`AdaptiveLCF` layer attached, pinning the full fault-reaction
+  loop (suspect/probe/readmit events included) added in PR 4.
 
 Usage::
 
-    python tools/check_trace_diff.py            # regenerate + diff
-    python tools/check_trace_diff.py --update   # re-golden (after an
-                                                # intentional change)
+    python tools/check_trace_diff.py                    # diff all goldens
+    python tools/check_trace_diff.py --only adaptive    # just one
+    python tools/check_trace_diff.py --update           # re-golden (after
+                                                        # an intentional change)
 
 Exit status 0 on match, 1 on divergence (first few differing lines are
 printed with their line numbers).
@@ -24,12 +33,14 @@ from __future__ import annotations
 import argparse
 import sys
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-GOLDEN = REPO_ROOT / "tests" / "data" / "golden_trace.jsonl"
+DATA = REPO_ROOT / "tests" / "data"
 
-#: Reference run parameters — change these only when re-goldening.
+#: Reference run parameters shared by every golden — change these only
+#: when re-goldening.
 SCHEDULER = "lcf_central_rr"
 N_PORTS = 4
 SEED = 7
@@ -38,13 +49,67 @@ WARMUP = 20
 MEASURE = 100
 MAX_SHOWN = 10
 
+#: Backwards-compatible alias for the original single golden.
+GOLDEN = DATA / "golden_trace.jsonl"
 
-def generate_trace() -> str:
-    """The reference run's JSONL event stream, as one string."""
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """One pinned reference simulation and where its golden lives."""
+
+    name: str
+    path: Path
+    description: str
+    #: Extra ``run_simulation`` keyword specs (plan / adapter wiring).
+    fault_spec: tuple = ()
+    adapt_spec: tuple = ()
+
+
+GOLDENS = (
+    GoldenRun(
+        name="reference",
+        path=GOLDEN,
+        description="plain fault-free run",
+    ),
+    GoldenRun(
+        name="adaptive",
+        path=DATA / "golden_trace_adaptive.jsonl",
+        description="fixed fault plan + AdaptiveLCF reaction loop",
+        fault_spec=(
+            ("link_down", ((0, 1, 30, 70),)),
+            ("port_down", ((2, 50, 90, "output"),)),
+        ),
+        adapt_spec=(("policy", "adaptive"),),
+    ),
+)
+
+
+def _build_faults(run: GoldenRun):
+    if not run.fault_spec:
+        return None
+    from repro.faults import FaultPlan, LinkOutage, PortDownInterval
+
+    spec = dict(run.fault_spec)
+    return FaultPlan(
+        link_down=tuple(LinkOutage(*entry) for entry in spec.get("link_down", ())),
+        port_down=tuple(
+            PortDownInterval(*entry) for entry in spec.get("port_down", ())
+        ),
+    )
+
+
+def generate_trace(run: GoldenRun | None = None) -> str:
+    """One golden run's JSONL event stream, as a single string.
+
+    Called without arguments it regenerates the original ``reference``
+    golden (backwards-compatible entry point).
+    """
+    from repro.adapt import make_adapter
     from repro.obs.tracer import JsonlTracer
     from repro.sim.config import SimConfig
     from repro.sim.simulator import run_simulation
 
+    run = run if run is not None else GOLDENS[0]
     config = SimConfig(
         n_ports=N_PORTS, warmup_slots=WARMUP, measure_slots=MEASURE, seed=SEED
     )
@@ -52,7 +117,14 @@ def generate_trace() -> str:
         path = Path(tmp) / "trace.jsonl"
         tracer = JsonlTracer(path)
         with tracer:
-            run_simulation(config, SCHEDULER, LOAD, tracer=tracer)
+            run_simulation(
+                config,
+                SCHEDULER,
+                LOAD,
+                tracer=tracer,
+                faults=_build_faults(run),
+                adapter=make_adapter(run.adapt_spec or None),
+            )
         return path.read_text()
 
 
@@ -86,35 +158,55 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--update",
         action="store_true",
-        help="rewrite the golden trace from the current simulator",
+        help="rewrite the golden trace(s) from the current simulator",
+    )
+    parser.add_argument(
+        "--only",
+        choices=tuple(run.name for run in GOLDENS),
+        default=None,
+        help="check a single golden instead of all of them",
     )
     args = parser.parse_args(argv)
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-    fresh = generate_trace()
-    if args.update:
-        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
-        GOLDEN.write_text(fresh)
-        print(f"golden trace updated: {GOLDEN} ({len(fresh.splitlines())} events)")
-        return 0
-    if not GOLDEN.exists():
-        print(f"golden trace missing: {GOLDEN} (run with --update)", file=sys.stderr)
-        return 1
-    problems = diff_traces(GOLDEN.read_text(), fresh)
-    if problems:
+    status = 0
+    for run in GOLDENS:
+        if args.only is not None and run.name != args.only:
+            continue
+        fresh = generate_trace(run)
+        if args.update:
+            run.path.parent.mkdir(parents=True, exist_ok=True)
+            run.path.write_text(fresh)
+            print(
+                f"golden '{run.name}' updated: {run.path} "
+                f"({len(fresh.splitlines())} events)"
+            )
+            continue
+        if not run.path.exists():
+            print(
+                f"golden '{run.name}' missing: {run.path} (run with --update)",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        problems = diff_traces(run.path.read_text(), fresh)
+        if problems:
+            print(
+                f"trace diverged from golden '{run.name}' ({run.path.name}); "
+                "if the change is intentional, re-golden with "
+                "tools/check_trace_diff.py --update",
+                file=sys.stderr,
+            )
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            status = 1
+            continue
         print(
-            f"trace diverged from golden ({GOLDEN.name}); if the change is "
-            "intentional, re-golden with tools/check_trace_diff.py --update",
-            file=sys.stderr,
+            f"trace matches golden '{run.name}': "
+            f"{len(fresh.splitlines())} events, {run.description} "
+            f"({SCHEDULER} n={N_PORTS} seed={SEED} load={LOAD})"
         )
-        for problem in problems:
-            print(problem, file=sys.stderr)
-        return 1
-    print(
-        f"trace matches golden: {len(fresh.splitlines())} events, "
-        f"{SCHEDULER} n={N_PORTS} seed={SEED} load={LOAD}"
-    )
-    return 0
+    return status
 
 
 if __name__ == "__main__":
