@@ -64,6 +64,15 @@ from repro.core import (
 from repro.baselines.weighted import LQF, OCF
 from repro.core.multicast import MulticastCell, MulticastScheduler
 from repro.fabric import ClosNetwork, CrossbarFabric
+from repro.fastpath import (
+    FastISLIP,
+    FastLCFCentral,
+    FastLCFCentralRR,
+    FastPIM,
+    fast_schedulers,
+    has_fast_kernel,
+    make_fast_scheduler,
+)
 from repro.faults import FaultInjector, FaultPlan
 from repro.matching import hopcroft_karp, maximum_matching_size
 from repro.obs import (
@@ -128,6 +137,14 @@ __all__ = [
     "OutputBufferedSwitch",
     "PipelinedSwitch",
     "CIOQSwitch",
+    # fastpath kernels
+    "FastLCFCentral",
+    "FastLCFCentralRR",
+    "FastISLIP",
+    "FastPIM",
+    "fast_schedulers",
+    "has_fast_kernel",
+    "make_fast_scheduler",
     # sweep engine
     "SweepSpec",
     "SweepPoint",

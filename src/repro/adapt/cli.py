@@ -101,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replicates", type=int, default=1)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--fast", action="store_true",
+                        help="run on the repro.fastpath bitmask kernels "
+                        "(bit-identical results, shared cache entries)")
     # Artifacts.
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="single-run mode: write the adaptive run's "
@@ -153,7 +156,7 @@ def _single_run(args: argparse.Namespace, adapt: AdaptConfig) -> int:
     )
     blind = run_simulation(
         config, args.scheduler, args.load, traffic=args.traffic,
-        faults=plan, adapter=ObliviousAdapter(),
+        faults=plan, adapter=ObliviousAdapter(), fast=args.fast,
     )
     tracer = (
         JsonlTracer(args.trace_out) if args.trace_out else RingTracer(1 << 20)
@@ -164,6 +167,7 @@ def _single_run(args: argparse.Namespace, adapt: AdaptConfig) -> int:
         reactive = run_simulation(
             config, args.scheduler, args.load, traffic=args.traffic,
             tracer=tracer, metrics=metrics, faults=plan, adapter=adapter,
+            fast=args.fast,
         )
     if not args.quiet:
         print(f"fault plan: {plan.describe()}")
@@ -233,6 +237,7 @@ def _grid(args: argparse.Namespace, adapt: AdaptConfig) -> int:
             processes=args.workers,
             cache=args.cache_dir,
             progress=not args.quiet,
+            fast=args.fast,
         )
     except ValueError as exc:
         print(f"lcf-adapt: {exc}", file=sys.stderr)

@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(inspect with pstats/snakeviz); the run report adds per-worker "
         "telemetry either way",
     )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="run on the repro.fastpath bitmask kernels (bit-identical "
+        "results, several times the slot rate; cache entries are shared "
+        "with reference runs)",
+    )
     parser.add_argument("--relative", action="store_true",
                         help="report latency relative to outbuf (Figure 12b)")
     parser.add_argument("--plot", action="store_true", help="ASCII plot")
@@ -147,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=not args.quiet,
         cache=args.cache_dir,
         profile_dir=args.profile,
+        fast=args.fast,
     )
 
     if args.csv:

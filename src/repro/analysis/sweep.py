@@ -128,6 +128,7 @@ def run_sweep(
     progress: bool = False,
     cache: ResultCache | str | Path | None = None,
     profile_dir: str | Path | None = None,
+    fast: bool = False,
 ) -> SweepResult:
     """Execute every point of the sweep grid via the parallel engine.
 
@@ -138,9 +139,16 @@ def run_sweep(
     directory path or :class:`ResultCache`) makes the sweep resumable:
     completed points are stored as they finish and reused on re-runs.
     ``profile_dir`` dumps one cProfile stats file per computed point.
+    ``fast`` runs the points on the :mod:`repro.fastpath` bitmask
+    kernels — bit-identical results, so fast and reference runs share
+    cache entries.
     """
     run = ParallelRunner(
-        workers=processes, cache=cache, progress=progress, profile_dir=profile_dir
+        workers=processes,
+        cache=cache,
+        progress=progress,
+        profile_dir=profile_dir,
+        fast=fast,
     ).run(spec)
     return SweepResult(spec, dict(run.merged), report=run.report)
 

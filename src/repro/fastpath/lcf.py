@@ -1,0 +1,165 @@
+"""Bitset kernels for the central LCF scheduler family.
+
+Drop-in twins of :class:`repro.core.lcf_central.LCFCentralVariant` and
+its two paper configurations. The kernel follows the Figure 2
+pseudocode on Python-int bitmasks:
+
+* ``col_free`` / ``free_in`` are one-word masks of the outputs still
+  schedulable and the inputs not yet granted this cycle;
+* NRQ — the per-input number of *remaining* choices — starts as the
+  popcount of ``row & col_free`` and is decremented for every requester
+  of a taken column, exactly the ``nrq[req] := nrq[req] - 1`` step;
+* the rotating tie-break chain is a bit rotation: candidates are
+  scanned in chain order starting at the round-robin row, so the first
+  strict NRQ minimum seen *is* the rotating-argmin winner — with an
+  early exit at NRQ 1, the least choice possible for a live candidate.
+
+State handling (the ``I``/``J`` offsets, ``reset``, trace recording) is
+inherited from the reference class, so the two implementations cannot
+drift apart structurally; bit-identical behaviour — schedules, decision
+traces, round-robin state — is enforced by ``tests/fastpath/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lcf_central import LCFCentralVariant, RRCoverage, StepTrace
+from repro.fastpath.bitops import derive_cols
+from repro.fastpath.kernel import BitmaskKernelMixin
+from repro.types import NO_GRANT
+
+
+class FastLCFCentralVariant(BitmaskKernelMixin, LCFCentralVariant):
+    """Central LCF on per-input bitmasks (any :class:`RRCoverage`)."""
+
+    def schedule_masks(
+        self, rows: list[int], cols: list[int] | None = None
+    ) -> list[int]:
+        """One scheduling cycle over request bitmasks.
+
+        ``rows[i]`` has bit ``j`` set iff input ``i`` requests output
+        ``j``; ``cols`` is the transposed view (derived when omitted).
+        Neither list is mutated. Returns the per-input grant list
+        (``NO_GRANT`` where unmatched) and advances the round-robin
+        state by one cycle, like :meth:`schedule`.
+        """
+        n = self.n
+        if cols is None:
+            cols = derive_cols(rows, n)
+        i0, j0 = self._i, self._j
+        full = (1 << n) - 1
+        col_free = full
+        free_in = full
+        schedule = [NO_GRANT] * n
+        record = self.record_trace
+        if record:
+            self.last_trace = []
+
+        if self.coverage is RRCoverage.DIAGONAL_FIRST:
+            for res in range(n):
+                row = i0 + res
+                if row >= n:
+                    row -= n
+                col = j0 + res
+                if col >= n:
+                    col -= n
+                if free_in >> row & 1 and rows[row] >> col & 1:
+                    schedule[row] = col
+                    col_free &= ~(1 << col)
+                    free_in &= ~(1 << row)
+
+        # NRQ after any pre-grants: remaining choices per free input.
+        nrq = [
+            (rows[i] & col_free).bit_count() if free_in >> i & 1 else 0
+            for i in range(n)
+        ]
+
+        diagonal = self.coverage is RRCoverage.DIAGONAL
+        single = self.coverage is RRCoverage.SINGLE
+        for res in range(n):
+            col = j0 + res
+            if col >= n:
+                col -= n
+            col_bit = 1 << col
+            if not col_free & col_bit:
+                continue
+            rr_row = i0 + res
+            if rr_row >= n:
+                rr_row -= n
+
+            grant = NO_GRANT
+            rr_won = False
+            if (
+                (diagonal or (single and res == 0))
+                and free_in >> rr_row & 1
+                and rows[rr_row] & col_bit
+            ):
+                grant = rr_row
+                rr_won = True
+            else:
+                cand = cols[col] & free_in
+                if cand:
+                    # Rotate so the chain starts at rr_row: scanning the
+                    # rotated mask LSB-first visits candidates in tie
+                    # order, so the first strict minimum wins.
+                    rotated = (cand >> rr_row) | (
+                        (cand << (n - rr_row)) & full
+                    )
+                    best_nrq = n + 1
+                    while rotated:
+                        low = rotated & -rotated
+                        i = rr_row + low.bit_length() - 1
+                        if i >= n:
+                            i -= n
+                        count = nrq[i]
+                        if count < best_nrq:
+                            best_nrq = count
+                            grant = i
+                            if count == 1:
+                                break  # a live candidate's NRQ floor
+                        rotated ^= low
+
+            if record:
+                self.last_trace.append(
+                    StepTrace(
+                        col,
+                        rr_row,
+                        np.array(nrq, dtype=np.int64),
+                        grant,
+                        rr_won,
+                    )
+                )
+            if grant != NO_GRANT:
+                schedule[grant] = col
+                col_free &= ~col_bit
+                # Figure 2: every remaining requester of the taken
+                # column loses one choice.
+                losers = cols[col] & free_in
+                while losers:
+                    low = losers & -losers
+                    nrq[low.bit_length() - 1] -= 1
+                    losers ^= low
+                free_in &= ~(1 << grant)
+                nrq[grant] = 0
+
+        self._advance()
+        return schedule
+
+
+class FastLCFCentral(FastLCFCentralVariant):
+    """Bitset twin of :class:`repro.core.lcf_central.LCFCentral`."""
+
+    name = "lcf_central"
+
+    def __init__(self, n: int):
+        super().__init__(n, coverage=RRCoverage.NONE)
+
+
+class FastLCFCentralRR(FastLCFCentralVariant):
+    """Bitset twin of :class:`repro.core.lcf_central.LCFCentralRR`."""
+
+    name = "lcf_central_rr"
+
+    def __init__(self, n: int):
+        super().__init__(n, coverage=RRCoverage.DIAGONAL)

@@ -58,6 +58,7 @@ __all__ = [
     "LossyLCFDistributedRR",
     "LossyLCFDistributedAgents",
     "RequestLossFilter",
+    "FastRequestLossFilter",
     "make_lossy_scheduler",
     "LOSSY_PROTOCOL_NAMES",
 ]
@@ -380,6 +381,38 @@ class RequestLossFilter(Scheduler):
         return self.scheduler.schedule_weighted(self._thin(weights.copy()))
 
 
+class FastRequestLossFilter(RequestLossFilter):
+    """:class:`RequestLossFilter` around a bitmask kernel.
+
+    Defines ``schedule_masks`` *on the class* (the crossbar's fastpath
+    capability probe is deliberately type-level, so the plain filter's
+    attribute forwarding can never bypass the loss model) and thins the
+    request bitmasks with the same pure per-crosspoint hash the matrix
+    path uses — fast and reference degraded modes stay bit-identical.
+    """
+
+    def schedule_masks(
+        self, rows: list[int], cols: list[int] | None = None
+    ) -> list[int]:
+        self._cycle += 1
+        rate = self.injector.plan.request_loss
+        if rate > 0.0:
+            slot = self._cycle
+            survives = self.injector.message_survives
+            thinned = []
+            for i, mask in enumerate(rows):
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    remaining ^= low
+                    if not survives(slot, 0, REQUEST, i, low.bit_length() - 1):
+                        mask ^= low
+                thinned.append(mask)
+            rows = thinned
+            cols = None  # stale after thinning; the kernel re-derives
+        return self.scheduler.schedule_masks(rows, cols)
+
+
 #: Scheduler names whose full request/grant/accept protocol is modelled
 #: at per-message granularity by a dedicated lossy implementation.
 LOSSY_PROTOCOL_NAMES = frozenset({"lcf_dist", "lcf_dist_rr"})
@@ -391,6 +424,7 @@ def make_lossy_scheduler(
     injector: FaultInjector,
     iterations: int = IterativeScheduler.DEFAULT_ITERATIONS,
     seed: int = 0,
+    fast: bool = False,
 ) -> Scheduler:
     """Registry-compatible factory for degraded-mode schedulers.
 
@@ -398,11 +432,24 @@ def make_lossy_scheduler(
     protocol; every other crossbar scheduler is wrapped in
     :class:`RequestLossFilter` so the whole registry can be swept along
     a loss axis without crashing or silently ignoring the plan.
+
+    ``fast=True`` wraps the :mod:`repro.fastpath` kernel (when the name
+    has one) in :class:`FastRequestLossFilter` — bit-identical results,
+    bitmask hot path. Names without a fast kernel fall back to the
+    reference wrapper, so the flag is always safe.
     """
     if name == "lcf_dist":
         return LossyLCFDistributed(n, injector, iterations)
     if name == "lcf_dist_rr":
         return LossyLCFDistributedRR(n, injector, iterations)
+    if fast:
+        from repro.fastpath.registry import has_fast_kernel, make_fast_scheduler
+
+        if has_fast_kernel(name):
+            return FastRequestLossFilter(
+                make_fast_scheduler(name, n, iterations=iterations, seed=seed),
+                injector,
+            )
     from repro.baselines.registry import make_scheduler
 
     return RequestLossFilter(

@@ -125,6 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replicates", type=int, default=1)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--fast", action="store_true",
+                        help="run on the repro.fastpath bitmask kernels "
+                        "(bit-identical results, shared cache entries)")
     parser.add_argument("--metric", default="throughput",
                         choices=("throughput", "mean_latency", "delivery"),
                         help="metric for the ASCII degradation plot")
@@ -222,6 +225,7 @@ def _single_run(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics=metrics,
             faults=plan,
+            fast=args.fast,
         )
     if not args.quiet:
         print(f"fault plan: {plan.describe()}")
@@ -285,6 +289,7 @@ def _sweep(args: argparse.Namespace) -> int:
         processes=args.workers,
         cache=args.cache_dir,
         progress=not args.quiet,
+        fast=args.fast,
     )
     try:
         if args.loss_grid is not None:

@@ -25,6 +25,7 @@ from repro.baselines.registry import (
     available_schedulers,
     make_scheduler,
 )
+from repro.fastpath.registry import make_fast_scheduler
 from repro.obs.chrome import write_chrome_trace
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.probe import MatchingQualityProbe
@@ -58,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-max-matching", action="store_true",
                         help="skip the per-slot Hopcroft-Karp maximum-matching "
                         "yardstick (faster for big runs)")
+    parser.add_argument("--fast", action="store_true",
+                        help="use the repro.fastpath bitmask kernel for the "
+                        "scheduler (bit-identical trace and summary)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the decision summary")
     return parser
@@ -84,7 +88,8 @@ def main(argv: list[str] | None = None) -> int:
         iterations=args.iterations,
         seed=args.seed,
     )
-    scheduler = make_scheduler(
+    factory = make_fast_scheduler if args.fast else make_scheduler
+    scheduler = factory(
         args.scheduler, args.ports, iterations=args.iterations, seed=args.seed
     )
     probe = None

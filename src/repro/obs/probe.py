@@ -12,6 +12,14 @@ The probe is transparent: the inner scheduler computes exactly the
 schedule it would have computed unwrapped, and decision-trace recording
 (``record_trace`` / ``last_trace``) passes through so switch-level
 telemetry keeps working.
+
+Hopcroft–Karp results are memoised per unique request matrix (keyed on
+the :func:`repro.fastpath.pack_rows` bitmask tuple): a steady-state
+switch revisits the same request pattern for many consecutive slots, so
+the cache turns the dominant per-slot cost of a probed run into a dict
+lookup. ``cache_hits`` / ``cache_misses`` expose the effectiveness; the
+cache is bounded by ``max_cache_entries`` and cleared wholesale on
+overflow (matrices seen after a clear are simply recomputed).
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import Scheduler
+from repro.fastpath.bitops import pack_rows
 from repro.matching.hopcroft_karp import maximum_matching_size
 from repro.types import NO_GRANT, RequestMatrix, Schedule, as_request_matrix
 
@@ -26,11 +35,20 @@ from repro.types import NO_GRANT, RequestMatrix, Schedule, as_request_matrix
 class MatchingQualityProbe(Scheduler):
     """Wrap a scheduler and score every matching against the maximum."""
 
-    def __init__(self, inner: Scheduler):
+    #: Default bound on distinct request matrices memoised at once.
+    DEFAULT_MAX_CACHE_ENTRIES = 1 << 16
+
+    def __init__(
+        self, inner: Scheduler, max_cache_entries: int = DEFAULT_MAX_CACHE_ENTRIES
+    ):
         if getattr(inner, "weight_kind", None) is not None:
             raise ValueError(
                 f"{inner.name} schedules on weights, not request matrices; "
                 "the matching probe only wraps request-matrix schedulers"
+            )
+        if max_cache_entries < 1:
+            raise ValueError(
+                f"max_cache_entries must be >= 1, got {max_cache_entries}"
             )
         super().__init__(inner.n)
         self.inner = inner
@@ -38,12 +56,29 @@ class MatchingQualityProbe(Scheduler):
         self.slots = 0
         self.achieved_total = 0
         self.maximum_total = 0
+        self.max_cache_entries = max_cache_entries
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._hk_cache: dict[tuple[int, ...], int] = {}
+
+    def _maximum(self, matrix: np.ndarray) -> int:
+        key = tuple(pack_rows(matrix))
+        cached = self._hk_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        size = maximum_matching_size(matrix)
+        if len(self._hk_cache) >= self.max_cache_entries:
+            self._hk_cache.clear()
+        self._hk_cache[key] = size
+        return size
 
     # -- delegation ----------------------------------------------------
 
     def schedule(self, requests: RequestMatrix) -> Schedule:
         matrix = as_request_matrix(requests)
-        self.maximum_total += maximum_matching_size(matrix)
+        self.maximum_total += self._maximum(matrix)
         schedule = self.inner.schedule(matrix)
         self.achieved_total += int(np.count_nonzero(schedule != NO_GRANT))
         self.slots += 1
@@ -59,6 +94,9 @@ class MatchingQualityProbe(Scheduler):
         self.slots = 0
         self.achieved_total = 0
         self.maximum_total = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._hk_cache.clear()
 
     # Decision-trace recording passes through to the wrapped scheduler.
 

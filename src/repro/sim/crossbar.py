@@ -124,6 +124,22 @@ class InputQueuedSwitch:
         self.recovery_events = 0
         self.degraded_slots = 0
         self.masked_grants = 0
+        # Uninstrumented slots with a bitmask-kernel scheduler take the
+        # branch-free fast loop: requests come straight from the VOQ
+        # bitmasks, so no request matrix, no defensive copy and no numpy
+        # scratch is ever allocated. Results are bit-identical to the
+        # instrumented loop (property-tested in tests/fastpath/).
+        # The capability probe is type-level on purpose: wrappers like
+        # RequestLossFilter forward unknown attributes to their inner
+        # scheduler, and a forwarded schedule_masks would bypass the
+        # wrapper's own filtering.
+        self._fast_slot = (
+            not self._observing
+            and self.injector is None
+            and adapter is None
+            and getattr(scheduler, "weight_kind", None) is None
+            and callable(getattr(type(scheduler), "schedule_masks", None))
+        )
         if injector is not None:
             self._down_in_prev = np.zeros(n, dtype=bool)
             self._down_out_prev = np.zeros(n, dtype=bool)
@@ -155,6 +171,8 @@ class InputQueuedSwitch:
 
     def step(self, slot: int, arrivals: np.ndarray) -> np.ndarray:
         """Advance one time slot; returns the schedule that was applied."""
+        if self._fast_slot:
+            return self._step_fast(slot, arrivals)
         observing = self._observing
         injector = self.injector
         if injector is not None:
@@ -259,6 +277,52 @@ class InputQueuedSwitch:
             if observing:
                 self._record_forward(slot, i, int(j), delay)
         if self.measuring and self.service is not None:
+            self.service.record(schedule)
+        return schedule
+
+    def _step_fast(self, slot: int, arrivals: np.ndarray) -> np.ndarray:
+        """The uninstrumented slot loop over VOQ bitmasks.
+
+        Same four stages in the same order as :meth:`step`, but the
+        scheduler is fed the incrementally-maintained request bitmasks
+        (``VOQSet.row_masks`` / ``col_masks``) instead of a freshly
+        built boolean matrix, and all bookkeeping stays in plain Python
+        ints. Statistics are bit-identical to the general loop.
+        """
+        measuring = self.measuring
+        pqs = self.pqs
+        voqs = self.voqs
+
+        # 1. Generation into PQs.
+        for i, dst in enumerate(arrivals.tolist()):
+            if dst != NO_ARRIVAL:
+                if measuring:
+                    self.offered += 1
+                pqs[i].push(dst, slot)
+
+        # 2. Injection: one packet per input link per slot, head blocking.
+        for i, pq in enumerate(pqs):
+            head = pq.head()
+            if head is not None and voqs.has_space(i, head[0]):
+                dst, t_generated = pq.pop()
+                voqs.push(i, dst, t_generated)
+
+        # 3. Scheduling straight off the maintained bitmasks (the kernel
+        #    only reads them; forwarding below updates them via pop).
+        grants = self.scheduler.schedule_masks(voqs.row_masks, voqs.col_masks)
+
+        # 4. Forwarding.
+        for i, j in enumerate(grants):
+            if j == NO_GRANT:
+                continue
+            delay = slot - voqs.pop(i, j) + 1
+            if measuring:
+                self.forwarded += 1
+                self.latency.add(delay)
+                if self.latency_samples is not None:
+                    self.latency_samples.append(delay)
+        schedule = np.array(grants, dtype=np.int64)
+        if measuring and self.service is not None:
             self.service.record(schedule)
         return schedule
 

@@ -67,6 +67,12 @@ class VOQSet:
             [deque() for _ in range(n)] for _ in range(n)
         ]
         self._occupancy = np.zeros((n, n), dtype=np.int64)
+        #: Per-input request bitmasks (bit j set iff VOQ (i, j) is
+        #: non-empty) and the per-output transpose — maintained on every
+        #: 0 <-> 1 occupancy transition so the fastpath kernels can read
+        #: the request state without building a matrix.
+        self.row_masks: list[int] = [0] * n
+        self.col_masks: list[int] = [0] * n
 
     @property
     def occupancy(self) -> np.ndarray:
@@ -77,19 +83,28 @@ class VOQSet:
         return int(self._occupancy.sum())
 
     def has_space(self, i: int, j: int) -> bool:
-        return self._occupancy[i, j] < self.capacity
+        return len(self._queues[i][j]) < self.capacity
 
     def push(self, i: int, j: int, t_generated: int) -> None:
         """Enqueue into VOQ (i, j); caller must have checked space."""
-        if not self.has_space(i, j):
+        queue = self._queues[i][j]
+        if len(queue) >= self.capacity:
             raise OverflowError(f"VOQ[{i}][{j}] is full (capacity {self.capacity})")
-        self._queues[i][j].append(t_generated)
+        queue.append(t_generated)
         self._occupancy[i, j] += 1
+        if len(queue) == 1:
+            self.row_masks[i] |= 1 << j
+            self.col_masks[j] |= 1 << i
 
     def pop(self, i: int, j: int) -> int:
         """Dequeue the head packet of VOQ (i, j); returns its timestamp."""
         self._occupancy[i, j] -= 1
-        return self._queues[i][j].popleft()
+        queue = self._queues[i][j]
+        t_generated = queue.popleft()
+        if not queue:
+            self.row_masks[i] &= ~(1 << j)
+            self.col_masks[j] &= ~(1 << i)
+        return t_generated
 
     def request_matrix(self) -> np.ndarray:
         """Boolean matrix of non-empty VOQs — what the scheduler sees."""

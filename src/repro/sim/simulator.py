@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.baselines.registry import make_scheduler
+from repro.fastpath.registry import make_fast_scheduler
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
@@ -93,6 +94,7 @@ def build_switch(
     metrics: MetricsRegistry | None = None,
     injector: FaultInjector | None = None,
     adapter=None,
+    fast: bool = False,
 ):
     """Instantiate the switch model matching a registry scheduler name.
 
@@ -111,6 +113,12 @@ def build_switch(
     :class:`~repro.adapt.adapter.SchedulingAdapter`), switching the
     crossbar from the informed stance to fault-blind scheduling; like
     faults it is rejected for the dedicated switch models.
+
+    ``fast=True`` selects the :mod:`repro.fastpath` bitmask kernel for
+    the scheduler when one exists (bit-identical results, several times
+    the slot rate) and lets the crossbar take its uninstrumented fast
+    loop; names without a fast kernel fall back to the reference
+    implementation, so the flag is always safe.
     """
     if scheduler_name in ("outbuf", "fifo"):
         if injector is not None:
@@ -135,6 +143,11 @@ def build_switch(
             injector,
             iterations=config.iterations,
             seed=seed,
+            fast=fast,
+        )
+    elif fast:
+        scheduler = make_fast_scheduler(
+            scheduler_name, config.n_ports, iterations=config.iterations, seed=seed
         )
     else:
         scheduler = make_scheduler(
@@ -164,6 +177,7 @@ def run_simulation(
     metrics: MetricsRegistry | None = None,
     faults: FaultPlan | dict | tuple | None = None,
     adapter=None,
+    fast: bool = False,
 ) -> SimResult:
     """Simulate one (scheduler, load) point of the Figure 12 grid.
 
@@ -190,6 +204,11 @@ def run_simulation(
     ``"adaptive"`` or ``"oblivious"``; empty/None means the informed
     default). The adapter is reset before the run so a reused instance
     cannot leak learned state across simulations.
+
+    ``fast`` selects the :mod:`repro.fastpath` layer (see
+    :func:`build_switch`). It is an execution detail, not part of the
+    experiment definition: results are bit-identical either way, which
+    is why sweep cache keys do not include it.
     """
     if isinstance(traffic, TrafficPattern):
         pattern = traffic
@@ -221,6 +240,7 @@ def run_simulation(
         metrics=metrics,
         injector=injector,
         adapter=adapter,
+        fast=fast,
     )
 
     for slot in range(config.total_slots):

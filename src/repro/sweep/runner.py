@@ -54,10 +54,10 @@ def _profile_path(profile_dir: str, index: int, point: SweepPoint) -> Path:
 
 
 def _run_point(
-    args: tuple[int, SimConfig, SweepPoint, str | None]
+    args: tuple[int, SimConfig, SweepPoint, str | None, bool]
 ) -> tuple[int, SimResult, float, int]:
     """Worker entry point (module level so it pickles for Pool)."""
-    index, config, point, profile_dir = args
+    index, config, point, profile_dir, fast = args
     start = time.perf_counter()
     faults = dict(point.fault_kwargs) or None
     adapter = dict(point.adapt_kwargs) or None
@@ -72,6 +72,7 @@ def _run_point(
             traffic_kwargs=dict(point.traffic_kwargs),
             faults=faults,
             adapter=adapter,
+            fast=fast,
         )
         profiler.dump_stats(_profile_path(profile_dir, index, point))
     else:
@@ -83,6 +84,7 @@ def _run_point(
             traffic_kwargs=dict(point.traffic_kwargs),
             faults=faults,
             adapter=adapter,
+            fast=fast,
         )
     return index, result, time.perf_counter() - start, os.getpid()
 
@@ -215,6 +217,11 @@ class ParallelRunner:
     ``profile_dir``
         directory to dump one cProfile stats file per computed point
         into (created if missing); ``None`` disables profiling.
+    ``fast``
+        run every computed point on the :mod:`repro.fastpath` layer.
+        Results are bit-identical to the reference layer, which is why
+        ``fast`` is *not* part of the cache key — fast and reference
+        runs share cache entries freely.
     """
 
     def __init__(
@@ -223,6 +230,7 @@ class ParallelRunner:
         cache: ResultCache | str | Path | None = None,
         progress: bool | Callable[[str], None] = False,
         profile_dir: str | Path | None = None,
+        fast: bool = False,
     ):
         self.workers = workers
         if cache is not None and not isinstance(cache, ResultCache):
@@ -230,6 +238,7 @@ class ParallelRunner:
         self.cache = cache
         self.progress = progress
         self.profile_dir = str(profile_dir) if profile_dir is not None else None
+        self.fast = fast
 
     def _emit(self, line: str) -> None:
         if callable(self.progress):
@@ -242,7 +251,7 @@ class ParallelRunner:
         total = len(points)
         outcomes: list[PointOutcome | None] = [None] * total
         keys: list[str | None] = [None] * total
-        pending: list[tuple[int, SimConfig, SweepPoint, str | None]] = []
+        pending: list[tuple[int, SimConfig, SweepPoint, str | None, bool]] = []
         start = time.perf_counter()
         if self.profile_dir is not None:
             Path(self.profile_dir).mkdir(parents=True, exist_ok=True)
@@ -254,7 +263,9 @@ class ParallelRunner:
                 if hit is not None:
                     outcomes[index] = PointOutcome(point, hit, cached=True, elapsed=0.0)
                     continue
-            pending.append((index, spec.point_config(point), point, self.profile_dir))
+            pending.append(
+                (index, spec.point_config(point), point, self.profile_dir, self.fast)
+            )
 
         hits = total - len(pending)
         if hits:

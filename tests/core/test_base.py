@@ -99,3 +99,31 @@ class TestRotatingArgmin:
         keys = np.array([2, 2, 9])
         candidates = np.array([True, True, False])
         assert rotating_argmin(keys, candidates, start=1) == 1
+
+    def test_fully_masked_column_raises(self):
+        # An output whose every requester is masked out (e.g. all down)
+        # must fail loudly rather than grant an arbitrary input.
+        keys = np.array([1, 1, 1, 1])
+        candidates = np.zeros(4, dtype=bool)
+        with pytest.raises(ValueError):
+            rotating_argmin(keys, candidates, start=2)
+
+    def test_single_candidate_wins_regardless_of_key_or_start(self):
+        keys = np.array([9, 0, 0, 9])
+        candidates = np.array([False, False, False, True])
+        for start in range(4):
+            assert rotating_argmin(keys, candidates, start=start) == 3
+
+    def test_wrap_at_last_index(self):
+        # start = n-1 with the chain's minimum sitting at index n-1:
+        # no wrap needed, the boundary element itself wins the tie.
+        keys = np.array([3, 3, 3, 3])
+        candidates = np.ones(4, dtype=bool)
+        assert rotating_argmin(keys, candidates, start=3) == 3
+
+    def test_wrap_from_last_index_to_front(self):
+        # start = n-1 but index n-1 is not a candidate: the cyclic chain
+        # must wrap to the front instead of falling off the array.
+        keys = np.array([5, 5, 5, 5])
+        candidates = np.array([True, True, True, False])
+        assert rotating_argmin(keys, candidates, start=3) == 0

@@ -1,0 +1,147 @@
+"""Perf-report plumbing: measurement, serialisation, regression checks."""
+
+import json
+
+import pytest
+
+from repro.fastpath.bench import (
+    REPORT_VERSION,
+    check_min_speedups,
+    compare_reports,
+    iter_cells,
+    load_report,
+    measure_pair,
+    request_pool,
+    run_speed_suite,
+    write_report,
+)
+
+
+def make_report(speedups):
+    """Minimal report with the given {(name, n): speedup} cells."""
+    schedulers: dict = {}
+    for (name, n), speedup in speedups.items():
+        schedulers.setdefault(name, {})[str(n)] = {
+            "reference_slots_per_sec": 1000.0,
+            "fast_slots_per_sec": 1000.0 * speedup,
+            "speedup": speedup,
+        }
+    return {"version": REPORT_VERSION, "schedulers": schedulers}
+
+
+class TestMeasurement:
+    def test_request_pool_is_deterministic(self):
+        a, b = request_pool(8), request_pool(8)
+        assert all((x == y).all() for x, y in zip(a, b))
+
+    def test_measure_pair_shape(self):
+        # Tiny cycle counts: this checks plumbing, not performance.
+        cell = measure_pair("lcf_central", 4, cycles=5, repeats=2, warmup_cycles=2)
+        assert set(cell) == {
+            "reference_slots_per_sec",
+            "fast_slots_per_sec",
+            "speedup",
+        }
+        assert cell["reference_slots_per_sec"] > 0
+        assert cell["fast_slots_per_sec"] > 0
+
+    def test_run_speed_suite_covers_requested_cells(self):
+        lines = []
+        report = run_speed_suite(
+            names=("islip",),
+            sizes=(4,),
+            cycles=5,
+            repeats=2,
+            warmup_cycles=2,
+            progress=lines.append,
+        )
+        assert [(n, s) for n, s, _ in iter_cells(report)] == [("islip", 4)]
+        assert len(lines) == 1
+        assert report["version"] == REPORT_VERSION
+
+
+class TestSerialisation:
+    def test_write_load_roundtrip(self, tmp_path):
+        report = make_report({("islip", 16): 2.0})
+        path = tmp_path / "report.json"
+        write_report(report, path)
+        assert load_report(path) == report
+
+    def test_load_rejects_unknown_versions(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({"version": REPORT_VERSION + 1}))
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_iter_cells_orders_by_name_then_width(self):
+        report = make_report(
+            {("pim", 16): 1.0, ("islip", 32): 1.0, ("islip", 4): 1.0}
+        )
+        assert [(n, s) for n, s, _ in iter_cells(report)] == [
+            ("islip", 4),
+            ("islip", 32),
+            ("pim", 16),
+        ]
+
+
+class TestCompareReports:
+    def test_within_tolerance_passes(self):
+        baseline = make_report({("islip", 16): 4.0})
+        current = make_report({("islip", 16): 3.0})
+        assert compare_reports(baseline, current, tolerance=0.30) == []
+
+    def test_drop_beyond_tolerance_fails(self):
+        baseline = make_report({("islip", 16): 4.0})
+        current = make_report({("islip", 16): 2.0})
+        failures = compare_reports(baseline, current, tolerance=0.30)
+        assert len(failures) == 1
+        assert "islip n=16" in failures[0]
+
+    def test_missing_cell_is_a_regression(self):
+        baseline = make_report({("islip", 16): 4.0, ("pim", 16): 4.0})
+        current = make_report({("islip", 16): 4.0})
+        failures = compare_reports(baseline, current)
+        assert failures == ["pim n=16: missing from current report"]
+
+    def test_extra_cells_are_allowed(self):
+        baseline = make_report({("islip", 16): 4.0})
+        current = make_report({("islip", 16): 4.0, ("islip", 32): 0.1})
+        assert compare_reports(baseline, current) == []
+
+    def test_improvements_always_pass(self):
+        baseline = make_report({("islip", 16): 2.0})
+        current = make_report({("islip", 16): 9.0})
+        assert compare_reports(baseline, current) == []
+
+
+class TestMinSpeedups:
+    def test_floor_met(self):
+        report = make_report({("lcf_central_rr", 16): 3.5})
+        assert check_min_speedups(report, {("lcf_central_rr", 16): 3.0}) == []
+
+    def test_floor_violated(self):
+        report = make_report({("lcf_central_rr", 16): 2.5})
+        failures = check_min_speedups(report, {("lcf_central_rr", 16): 3.0})
+        assert len(failures) == 1
+        assert "below the required 3x floor" in failures[0]
+
+    def test_unmeasured_floor_fails(self):
+        failures = check_min_speedups(make_report({}), {("islip", 16): 2.0})
+        assert failures == ["islip n=16: not measured, floor 2x unchecked"]
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_loads_and_meets_the_claimed_floor(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_speed.json"
+        report = load_report(path)
+        assert check_min_speedups(report, {("lcf_central_rr", 16): 3.0}) == []
+        # Every fastpath kernel is present at the standard widths.
+        measured = {(name, n) for name, n, _ in iter_cells(report)}
+        from repro.fastpath.bench import DEFAULT_SIZES
+        from repro.fastpath.registry import fast_schedulers
+
+        for name in fast_schedulers():
+            for n in DEFAULT_SIZES:
+                assert (name, n) in measured

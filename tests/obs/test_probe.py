@@ -68,3 +68,61 @@ def test_reset_clears_scores():
     probe.reset()
     assert probe.slots == 0
     assert np.isnan(probe.efficiency)
+
+
+class TestHopcroftKarpCache:
+    def test_repeated_matrices_hit_the_cache(self):
+        probe = MatchingQualityProbe(LCFCentral(4))
+        matrix = np.eye(4, dtype=bool)
+        for _ in range(5):
+            probe.schedule(matrix.copy())
+        assert probe.cache_misses == 1
+        assert probe.cache_hits == 4
+
+    def test_distinct_matrices_miss(self):
+        probe = MatchingQualityProbe(LCFCentral(3))
+        probe.schedule(np.eye(3, dtype=bool))
+        probe.schedule(np.ones((3, 3), dtype=bool))
+        assert probe.cache_misses == 2
+        assert probe.cache_hits == 0
+
+    def test_scores_match_an_uncached_probe(self):
+        rng = np.random.default_rng(7)
+        matrices = [random_requests(rng, n=5) for _ in range(60)]
+        # Repeat matrices so the cached probe actually exercises hits.
+        workload = matrices + matrices[::-1]
+        cached = MatchingQualityProbe(LCFCentral(5))
+        uncached = MatchingQualityProbe(LCFCentral(5), max_cache_entries=1)
+        for matrix in workload:
+            cached.schedule(matrix)
+            uncached.schedule(matrix)
+        assert cached.cache_hits > 0
+        assert cached.maximum_total == uncached.maximum_total
+        assert cached.achieved_total == uncached.achieved_total
+        assert cached.efficiency == uncached.efficiency
+
+    def test_overflow_clears_and_keeps_counting(self):
+        probe = MatchingQualityProbe(LCFCentral(2), max_cache_entries=2)
+        a = np.array([[1, 0], [0, 1]], dtype=bool)
+        b = np.array([[1, 1], [0, 0]], dtype=bool)
+        c = np.array([[0, 1], [1, 0]], dtype=bool)
+        for matrix in (a, b, c, a):
+            probe.schedule(matrix)
+        # a and b filled the cache; c cleared it before inserting, so
+        # the final a is a miss again — 4 misses, zero hits, right sums.
+        assert probe.cache_misses == 4
+        assert probe.cache_hits == 0
+        assert probe.maximum_total == 2 + 1 + 2 + 2
+
+    def test_reset_clears_cache_and_counters(self):
+        probe = MatchingQualityProbe(LCFCentral(3))
+        probe.schedule(np.eye(3, dtype=bool))
+        probe.schedule(np.eye(3, dtype=bool))
+        probe.reset()
+        assert probe.cache_hits == probe.cache_misses == 0
+        probe.schedule(np.eye(3, dtype=bool))
+        assert probe.cache_misses == 1
+
+    def test_rejects_nonpositive_cache_bound(self):
+        with pytest.raises(ValueError):
+            MatchingQualityProbe(LCFCentral(3), max_cache_entries=0)

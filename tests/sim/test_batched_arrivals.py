@@ -1,0 +1,86 @@
+"""Batched Bernoulli arrival drawing.
+
+``batch=1`` (the default) must consume the PCG64 stream exactly like
+the historical per-slot implementation — golden traces, sweep cache
+keys and every seeded experiment depend on it — while larger batches
+amortise numpy dispatch over a chunk of slots and are an explicit
+opt-in to a different (equally valid) sample path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.traffic.base import NO_ARRIVAL
+from repro.traffic.bernoulli import BernoulliUniform
+
+
+def legacy_arrivals(n, load, seed, self_traffic, slots):
+    """The pre-batching per-slot draw, reproduced verbatim."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(slots):
+        active = rng.random(n) < load
+        dst = rng.integers(0, n, size=n)
+        if not self_traffic:
+            offsets = rng.integers(1, n, size=n)
+            dst = (np.arange(n) + offsets) % n
+        out.append(np.where(active, dst, NO_ARRIVAL).astype(np.int64))
+    return out
+
+
+class TestStreamCompatibility:
+    @pytest.mark.parametrize("self_traffic", [True, False])
+    def test_batch_one_matches_the_legacy_stream(self, self_traffic):
+        pattern = BernoulliUniform(8, 0.7, seed=17, self_traffic=self_traffic)
+        for expected in legacy_arrivals(8, 0.7, 17, self_traffic, slots=200):
+            assert np.array_equal(pattern.arrivals(), expected)
+
+    def test_batch_one_is_the_default(self):
+        assert BernoulliUniform(4, 0.5).batch == 1
+
+
+class TestBatchedDraws:
+    def test_chunk_is_served_in_slot_order(self):
+        # Each chunk is one (batch, n) draw; slot k of the chunk must be
+        # row k, i.e. identical to drawing the same shapes and indexing.
+        batched = BernoulliUniform(6, 0.6, seed=4, batch=5)
+        rng = np.random.default_rng(4)
+        active = rng.random((5, 6)) < 0.6
+        dst = rng.integers(0, 6, size=(5, 6))
+        expected = np.where(active, dst, NO_ARRIVAL).astype(np.int64)
+        for k in range(5):
+            assert np.array_equal(batched.arrivals(), expected[k])
+
+    @pytest.mark.parametrize("batch", [1, 3, 16])
+    def test_arrivals_are_well_formed(self, batch):
+        pattern = BernoulliUniform(5, 0.8, seed=2, batch=batch)
+        for _ in range(50):
+            arrivals = pattern.arrivals()
+            assert arrivals.shape == (5,)
+            assert arrivals.dtype == np.int64
+            live = arrivals[arrivals != NO_ARRIVAL]
+            assert ((live >= 0) & (live < 5)).all()
+
+    def test_no_self_traffic_holds_across_chunks(self):
+        pattern = BernoulliUniform(4, 1.0, seed=3, self_traffic=False, batch=8)
+        for _ in range(40):
+            arrivals = pattern.arrivals()
+            assert (arrivals != np.arange(4)).all()
+
+    def test_batched_load_is_statistically_right(self):
+        pattern = BernoulliUniform(16, 0.5, seed=0, batch=64)
+        live = sum(
+            int((pattern.arrivals() != NO_ARRIVAL).sum()) for _ in range(2000)
+        )
+        assert live / (2000 * 16) == pytest.approx(0.5, abs=0.02)
+
+    def test_reset_discards_the_pending_chunk_and_replays(self):
+        pattern = BernoulliUniform(6, 0.7, seed=11, batch=4)
+        first = [pattern.arrivals().copy() for _ in range(10)]
+        pattern.reset()  # mid-chunk: 10 = 2 chunks + 2 slots
+        replay = [pattern.arrivals().copy() for _ in range(10)]
+        assert all(np.array_equal(a, b) for a, b in zip(first, replay))
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            BernoulliUniform(4, 0.5, batch=0)

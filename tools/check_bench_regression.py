@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the fastpath speed report.
+
+Compares a freshly measured ``BENCH_speed.json``-format report against
+the committed baseline, on *speedup ratios* (fast over reference) —
+absolute slots/sec depend on the host machine, but both layers run in
+the same interpreter on the same box, so the ratio is the portable
+signal. A cell fails when its speedup drops more than ``--tolerance``
+(default 30%) below the baseline, or when it falls below one of the
+absolute ``--min`` floors (default: the repo's committed claim that
+fastpath ``lcf_central_rr`` is at least 3x the reference at n=16).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_speed.py fresh.json
+    python tools/check_bench_regression.py --current fresh.json
+
+Exit status 0 when every cell holds, 1 otherwise — CI's perf-smoke job
+runs exactly this pair of commands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fastpath.bench import (  # noqa: E402
+    check_min_speedups,
+    compare_reports,
+    iter_cells,
+    load_report,
+)
+
+#: Absolute speedup floors the repo commits to (``name:n:floor``).
+DEFAULT_FLOORS = ("lcf_central_rr:16:3.0",)
+
+
+def parse_floor(text: str) -> tuple[tuple[str, int], float]:
+    try:
+        name, n, floor = text.rsplit(":", 2)
+        return (name, int(n)), float(floor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME:N:FLOOR (e.g. lcf_central_rr:16:3.0), got {text!r}"
+        ) from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_speed.json"),
+        help="committed baseline report (default: repo BENCH_speed.json)",
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="freshly measured report to check",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup drop vs baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--min",
+        dest="floors",
+        action="append",
+        type=parse_floor,
+        metavar="NAME:N:FLOOR",
+        help="absolute speedup floor, repeatable "
+        f"(default: {', '.join(DEFAULT_FLOORS)})",
+    )
+    args = parser.parse_args(argv)
+    floors = dict(
+        args.floors
+        if args.floors is not None
+        else (parse_floor(text) for text in DEFAULT_FLOORS)
+    )
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    for name, n, cell in iter_cells(current):
+        print(
+            f"{name:<16} n={n:<3} ref {cell['reference_slots_per_sec']:>10.0f}/s  "
+            f"fast {cell['fast_slots_per_sec']:>10.0f}/s  {cell['speedup']:.2f}x"
+        )
+
+    failures = compare_reports(baseline, current, tolerance=args.tolerance)
+    failures += check_min_speedups(current, floors)
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        print(f"{len(failures)} perf check(s) failed "
+              f"(baseline {args.baseline}, tolerance {args.tolerance:.0%})")
+        return 1
+    print(f"perf OK: every cell within {args.tolerance:.0%} of "
+          f"{args.baseline} and above the absolute floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
