@@ -18,7 +18,8 @@ Run as a script to (re)generate the committed perf baseline::
     PYTHONPATH=src python benchmarks/bench_scheduler_speed.py BENCH_speed.json
 
 which measures every fastpath kernel against its reference twin at
-n in {4, 16, 32} and writes the JSON report that
+n in {4, 16, 32, 64, 128} (the two widest cells exercise the
+multi-word kernel layouts) and writes the JSON report that
 ``tools/check_bench_regression.py`` gates CI on.
 """
 

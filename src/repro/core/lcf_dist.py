@@ -68,6 +68,14 @@ class LCFDistributed(IterativeScheduler):
         self._accept_ptr[:] = 0
         self.last_trace = []
 
+    @property
+    def pointers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the (grant, accept) pointer arrays, for inspection."""
+        return (
+            np.array(self._grant_ptr, dtype=np.int64),
+            np.array(self._accept_ptr, dtype=np.int64),
+        )
+
     def _pre_iterations(
         self, requests: RequestMatrix, schedule: Schedule, out_matched: np.ndarray
     ) -> None:

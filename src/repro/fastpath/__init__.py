@@ -23,15 +23,29 @@ the ``BENCH_speed.json`` perf-regression workflow.
 """
 
 from repro.fastpath.bitops import (
+    WORD_BITS,
     derive_cols,
+    derive_cols_words,
+    full_words,
+    int_to_words,
     next_at_or_after,
+    next_at_or_after_words,
     pack_cols,
+    pack_cols_words,
     pack_rows,
+    pack_rows_words,
+    popcount_words,
+    rotating_argmin_words,
     select_kth_bit,
+    select_kth_bit_words,
     unpack_rows,
+    unpack_rows_words,
+    word_count,
+    words_to_int,
 )
 from repro.fastpath.islip import FastISLIP
 from repro.fastpath.lcf import FastLCFCentral, FastLCFCentralRR, FastLCFCentralVariant
+from repro.fastpath.lcf_dist import FastLCFDistributed, FastLCFDistributedRR
 from repro.fastpath.pim import FastPIM
 from repro.fastpath.registry import (
     FAST_SCHEDULER_NAMES,
@@ -46,14 +60,29 @@ __all__ = [
     "FastLCFCentral",
     "FastLCFCentralRR",
     "FastLCFCentralVariant",
+    "FastLCFDistributed",
+    "FastLCFDistributedRR",
     "FastPIM",
+    "WORD_BITS",
     "derive_cols",
+    "derive_cols_words",
     "fast_schedulers",
+    "full_words",
     "has_fast_kernel",
+    "int_to_words",
     "make_fast_scheduler",
     "next_at_or_after",
+    "next_at_or_after_words",
     "pack_cols",
+    "pack_cols_words",
     "pack_rows",
+    "pack_rows_words",
+    "popcount_words",
+    "rotating_argmin_words",
     "select_kth_bit",
+    "select_kth_bit_words",
     "unpack_rows",
+    "unpack_rows_words",
+    "word_count",
+    "words_to_int",
 ]

@@ -39,8 +39,13 @@ from repro.fastpath.registry import fast_schedulers, make_fast_scheduler
 #: Report schema version (bump on incompatible shape changes).
 REPORT_VERSION = 1
 
-#: Switch widths the standard suite measures.
-DEFAULT_SIZES = (4, 16, 32)
+#: Switch widths the standard suite measures. 64 and 128 exercise the
+#: multi-word (``n > 64``) kernel layouts and the word-boundary case.
+DEFAULT_SIZES = (4, 16, 32, 64, 128)
+
+#: Width at and below which cells run the caller's full cycle count;
+#: wider cells scale cycles down inversely (see :func:`scaled_cycles`).
+CYCLE_ANCHOR = 16
 
 #: Request density of the benchmark matrices (the paper's ~50% load).
 DEFAULT_DENSITY = 0.5
@@ -55,6 +60,16 @@ def request_pool(
     """The seeded pool of boolean request matrices every measurement uses."""
     rng = np.random.default_rng(seed)
     return [rng.random((n, n)) < density for _ in range(POOL_SIZE)]
+
+
+def scaled_cycles(cycles: int, n: int, anchor: int = CYCLE_ANCHOR, floor: int = 48) -> int:
+    """Per-cell cycle count: full up to ``anchor`` ports, then inverse
+    with width so a 128-port cell costs about what a 16-port cell does
+    (one schedule() call is roughly linear in ``n`` for both layers).
+    ``floor`` keeps wide cells statistically meaningful."""
+    if n <= anchor:
+        return cycles
+    return max(floor, cycles * anchor // n)
 
 
 def measure_rate(
@@ -109,7 +124,14 @@ def run_speed_suite(
     warmup_cycles: int = 200,
     progress=None,
 ) -> dict:
-    """Measure every (scheduler, n) cell and package the report dict."""
+    """Measure every (scheduler, n) cell and package the report dict.
+
+    ``cycles``/``warmup_cycles`` are the budgets at the anchor width;
+    wider cells run :func:`scaled_cycles` of them so the suite's wall
+    time stays flat per cell instead of quadratic in width. Speedup
+    ratios are unaffected — both layers of a pair always run the same
+    cycle count.
+    """
     if names is None:
         names = fast_schedulers()
     report: dict = {
@@ -126,7 +148,11 @@ def run_speed_suite(
         cells = report["schedulers"].setdefault(name, {})
         for n in sizes:
             cells[str(n)] = cell = measure_pair(
-                name, n, cycles=cycles, repeats=repeats, warmup_cycles=warmup_cycles
+                name,
+                n,
+                cycles=scaled_cycles(cycles, n),
+                repeats=repeats,
+                warmup_cycles=scaled_cycles(warmup_cycles, n, floor=10),
             )
             if progress is not None:
                 progress(

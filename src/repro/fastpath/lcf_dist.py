@@ -1,0 +1,408 @@
+"""Bitset kernels for the distributed LCF scheduler family.
+
+Drop-in twins of :class:`repro.core.lcf_dist.LCFDistributed` and its
+round-robin variant. The Section 5 request/grant/accept exchange is the
+same per-word mask algebra as the central kernel:
+
+* the per-iteration *live* subgraph (unmatched initiators x unmatched
+  targets) is ``rows[i] & out_free`` per input — one AND per row;
+* ``nrq`` (choices an initiator sends with its requests) is a popcount
+  of that live row; ``ngt`` (requests a target received, sent with its
+  grant) is a popcount of the live column;
+* grant and accept are both rotating-minimum scans over a candidate
+  mask — the exact bit idiom of the central kernel's tie-break chain,
+  with the same early exit at the key floor of 1.
+
+State handling (per-port grant/accept pointers, the RR overlay walk,
+``reset``, trace recording) is inherited from the reference classes, so
+the implementations cannot drift apart structurally; bit-identical
+behaviour — schedules, :class:`IterationTrace` streams, pointer
+evolution — is enforced by ``tests/fastpath/``.
+
+Both kernels carry a first-class multi-word path (``schedule_words``)
+for ``n > 64`` switches: masks become word tuples and every scan walks
+machine-sized words (see :mod:`repro.fastpath.bitops`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lcf_dist import IterationTrace, LCFDistributed, LCFDistributedRR
+from repro.fastpath.bitops import (
+    derive_cols,
+    derive_cols_words,
+    full_words,
+    next_at_or_after_words,
+    rotating_argmin_words,
+    unpack_rows,
+    unpack_rows_words,
+)
+from repro.fastpath.kernel import BitmaskKernelMixin
+from repro.types import NO_GRANT
+
+
+class FastLCFDistributed(BitmaskKernelMixin, LCFDistributed):
+    """Bitset twin of :class:`repro.core.lcf_dist.LCFDistributed`."""
+
+    name = "lcf_dist"
+
+    def __init__(
+        self, n: int, iterations: int = LCFDistributed.DEFAULT_ITERATIONS
+    ):
+        super().__init__(n, iterations)
+        # Pointer state in plain lists (int indexing on the hot path);
+        # the reference-shaped numpy views come from ``pointers``.
+        self._grant_ptr = [0] * n
+        self._accept_ptr = [0] * n
+
+    def reset(self) -> None:
+        self._grant_ptr = [0] * self.n
+        self._accept_ptr = [0] * self.n
+        self.last_trace = []
+
+    @property
+    def pointers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the (grant, accept) pointer arrays, for inspection."""
+        return (
+            np.array(self._grant_ptr, dtype=np.int64),
+            np.array(self._accept_ptr, dtype=np.int64),
+        )
+
+    # -- single-word kernel (n <= 64) ----------------------------------
+
+    def schedule_masks(
+        self, rows: list[int], cols: list[int] | None = None
+    ) -> list[int]:
+        """One scheduling cycle over request bitmasks (see
+        :meth:`repro.fastpath.lcf.FastLCFCentralVariant.schedule_masks`
+        for the mask convention; neither list is mutated)."""
+        n = self.n
+        if cols is None:
+            cols = derive_cols(rows, n)
+        full = (1 << n) - 1
+        schedule = [NO_GRANT] * n
+        if self.record_trace:
+            self.last_trace = []
+        in_free, out_free = self._pre_masks(rows, schedule, full, full)
+        for _ in range(self.iterations):
+            made, in_free, out_free = self._iterate_masks(
+                rows, cols, schedule, in_free, out_free, full
+            )
+            if not made:
+                break  # converged: no new matches are possible
+        self._cycle_done()
+        return schedule
+
+    def _pre_masks(
+        self, rows: list[int], schedule: list[int], in_free: int, out_free: int
+    ) -> tuple[int, int]:
+        """Hook for the round-robin overlay (no-op in the pure scheduler)."""
+        return in_free, out_free
+
+    def _cycle_done(self) -> None:
+        """Hook for end-of-cycle state advance (the RR position walk)."""
+
+    def _iterate_masks(
+        self,
+        rows: list[int],
+        cols: list[int],
+        schedule: list[int],
+        in_free: int,
+        out_free: int,
+        full: int,
+    ) -> tuple[bool, int, int]:
+        n = self.n
+
+        # Request step: live row = requests to still-unmatched targets;
+        # nrq is its popcount (matched initiators keep nrq 0, exactly
+        # the reference's masked row sums). The live inputs are also
+        # grouped into per-nrq-value bucket masks: every output needs
+        # the minimum nrq over its candidate mask, and probing buckets
+        # in ascending value order costs one AND per bucket instead of
+        # one key lookup per candidate bit — equivalent ordering to
+        # ``rotating_argmin``'s composite key (value first, chain second).
+        nrq = [0] * n
+        buckets: dict[int, int] = {}
+        remaining = in_free
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            i = low.bit_length() - 1
+            count = (rows[i] & out_free).bit_count()
+            nrq[i] = count
+            if count:
+                buckets[count] = buckets.get(count, 0) | low
+        values = sorted(buckets)
+
+        # Grant step: each live target grants its least-choice requester
+        # (rotating chain from the per-output pointer breaks ties).
+        grant_ptr = self._grant_ptr
+        record = self.record_trace
+        trace_grants = [] if record else None
+        offers = [0] * n  # per-input masks of granting outputs
+        ngt = [0] * n
+        granted_inputs = 0
+        remaining = out_free
+        while remaining:
+            out_bit = remaining & -remaining
+            remaining ^= out_bit
+            j = out_bit.bit_length() - 1
+            cand = cols[j] & in_free
+            if not cand:
+                continue
+            ngt[j] = cand.bit_count()
+            for value in values:
+                tied = cand & buckets[value]
+                if tied:
+                    start = grant_ptr[j]
+                    rotated = (tied >> start) | ((tied << (n - start)) & full)
+                    winner = start + (rotated & -rotated).bit_length() - 1
+                    if winner >= n:
+                        winner -= n
+                    break
+            offers[winner] |= out_bit
+            granted_inputs |= 1 << winner
+            if trace_grants is not None:
+                trace_grants.append((winner, j))
+
+        trace = self._make_trace(rows, in_free, out_free, nrq, ngt, trace_grants) \
+            if record else None
+
+        # Accept step: each granted initiator takes the grant from the
+        # target with the fewest received requests.
+        accept_ptr = self._accept_ptr
+        made = False
+        remaining = granted_inputs
+        while remaining:
+            in_bit = remaining & -remaining
+            remaining ^= in_bit
+            i = in_bit.bit_length() - 1
+            mask = offers[i]
+            start = accept_ptr[i]
+            rotated = (mask >> start) | ((mask << (n - start)) & full)
+            best = n + 1
+            j = -1
+            while rotated:
+                low = rotated & -rotated
+                out = start + low.bit_length() - 1
+                if out >= n:
+                    out -= n
+                count = ngt[out]
+                if count < best:
+                    best = count
+                    j = out
+                    if count == 1:
+                        break  # a granting target's ngt floor
+                rotated ^= low
+            schedule[i] = j
+            in_free &= ~in_bit
+            out_free &= ~(1 << j)
+            made = True
+            grant_ptr[j] = i + 1 if i + 1 < n else 0
+            accept_ptr[i] = j + 1 if j + 1 < n else 0
+            if trace is not None:
+                trace.accepts.append((i, j))
+        if trace is not None:
+            self.last_trace.append(trace)
+        return made, in_free, out_free
+
+    def _make_trace(self, rows, in_free, out_free, nrq, ngt, grant_pairs):
+        """Materialise the reference-shaped :class:`IterationTrace`
+        (numpy matrices) from the mask state — trace mode only."""
+        n = self.n
+        live_rows = [
+            rows[i] & out_free if in_free >> i & 1 else 0 for i in range(n)
+        ]
+        grants = np.zeros((n, n), dtype=bool)
+        for i, j in grant_pairs:
+            grants[i, j] = True
+        return IterationTrace(
+            unpack_rows(live_rows, n),
+            np.array(nrq, dtype=np.int64),
+            grants,
+            np.array(ngt, dtype=np.int64),
+        )
+
+    # -- multi-word kernel (n > 64) ------------------------------------
+
+    def schedule_words(
+        self, rows: list[list[int]], cols: list[list[int]] | None = None
+    ) -> list[int]:
+        """Multi-word twin of :meth:`schedule_masks` (word tuples per
+        row/column; neither outer list nor any word tuple is mutated)."""
+        n = self.n
+        if cols is None:
+            cols = derive_cols_words(rows, n)
+        schedule = [NO_GRANT] * n
+        if self.record_trace:
+            self.last_trace = []
+        in_free = full_words(n)
+        out_free = full_words(n)
+        self._pre_words(rows, schedule, in_free, out_free)
+        for _ in range(self.iterations):
+            if not self._iterate_words(rows, cols, schedule, in_free, out_free):
+                break
+        self._cycle_done()
+        return schedule
+
+    def _pre_words(
+        self,
+        rows: list[list[int]],
+        schedule: list[int],
+        in_free: list[int],
+        out_free: list[int],
+    ) -> None:
+        """Hook for the round-robin overlay (mutates the free masks)."""
+
+    def _iterate_words(
+        self,
+        rows: list[list[int]],
+        cols: list[list[int]],
+        schedule: list[int],
+        in_free: list[int],
+        out_free: list[int],
+    ) -> bool:
+        n = self.n
+        words = len(in_free)
+
+        # Request step, plus nrq-value buckets for the grant scan: every
+        # output needs the minimum nrq over its candidate mask, so group
+        # the live inputs by nrq value once and let each output walk the
+        # values in ascending order — one word-AND per bucket probed
+        # instead of one key lookup per candidate bit. Equivalent to
+        # ``rotating_argmin``'s composite key (value first, chain second).
+        nrq = [0] * n
+        buckets: dict[int, list[int]] = {}
+        for w in range(words):
+            remaining = in_free[w]
+            base = w << 6
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                i = base + low.bit_length() - 1
+                row = rows[i]
+                count = sum(
+                    (row[k] & out_free[k]).bit_count() for k in range(words)
+                )
+                nrq[i] = count
+                if count:
+                    bucket = buckets.get(count)
+                    if bucket is None:
+                        bucket = buckets[count] = [0] * words
+                    bucket[w] |= low
+        values = sorted(buckets)
+
+        grant_ptr = self._grant_ptr
+        record = self.record_trace
+        trace_grants = [] if record else None
+        offers: list[list[int] | None] = [None] * n
+        ngt = [0] * n
+        granted = [0] * words
+        for jw in range(words):
+            remaining = out_free[jw]
+            while remaining:
+                out_low = remaining & -remaining
+                remaining ^= out_low
+                j = (jw << 6) + out_low.bit_length() - 1
+                col = cols[j]
+                cand = [col[k] & in_free[k] for k in range(words)]
+                received = sum(map(int.bit_count, cand))
+                if not received:
+                    continue
+                ngt[j] = received
+                for value in values:
+                    bucket = buckets[value]
+                    tied = [cand[k] & bucket[k] for k in range(words)]
+                    if any(tied):
+                        winner = next_at_or_after_words(tied, grant_ptr[j], n)
+                        break
+                offer = offers[winner]
+                if offer is None:
+                    offer = offers[winner] = [0] * words
+                offer[jw] |= out_low
+                granted[winner >> 6] |= 1 << (winner & 63)
+                if trace_grants is not None:
+                    trace_grants.append((winner, j))
+
+        trace = self._make_trace_words(
+            rows, in_free, out_free, nrq, ngt, trace_grants
+        ) if record else None
+
+        accept_ptr = self._accept_ptr
+        made = False
+        for iw in range(words):
+            remaining = granted[iw]
+            while remaining:
+                in_low = remaining & -remaining
+                remaining ^= in_low
+                i = (iw << 6) + in_low.bit_length() - 1
+                j = rotating_argmin_words(ngt, offers[i], accept_ptr[i], n)
+                schedule[i] = j
+                in_free[iw] &= ~in_low
+                out_free[j >> 6] &= ~(1 << (j & 63))
+                made = True
+                grant_ptr[j] = i + 1 if i + 1 < n else 0
+                accept_ptr[i] = j + 1 if j + 1 < n else 0
+                if trace is not None:
+                    trace.accepts.append((i, j))
+        if trace is not None:
+            self.last_trace.append(trace)
+        return made
+
+    def _make_trace_words(self, rows, in_free, out_free, nrq, ngt, grant_pairs):
+        n = self.n
+        words = len(in_free)
+        zero = [0] * words
+        live_rows = [
+            [rows[i][k] & out_free[k] for k in range(words)]
+            if in_free[i >> 6] >> (i & 63) & 1
+            else zero
+            for i in range(n)
+        ]
+        grants = np.zeros((n, n), dtype=bool)
+        for i, j in grant_pairs:
+            grants[i, j] = True
+        return IterationTrace(
+            unpack_rows_words(live_rows, n),
+            np.array(nrq, dtype=np.int64),
+            grants,
+            np.array(ngt, dtype=np.int64),
+        )
+
+
+class FastLCFDistributedRR(FastLCFDistributed, LCFDistributedRR):
+    """Bitset twin of :class:`repro.core.lcf_dist.LCFDistributedRR`.
+
+    The Section 5 fairness overlay (one rotating request-matrix element
+    pre-matched per cycle) and its position walk are realised in the
+    mask hooks; the walk state itself (``rr_position`` and friends) is
+    inherited from the reference class.
+    """
+
+    name = "lcf_dist_rr"
+
+    def reset(self) -> None:
+        super().reset()
+        self._rr_i = 0
+        self._rr_j = 0
+
+    def _pre_masks(self, rows, schedule, in_free, out_free):
+        i, j = self._rr_i, self._rr_j
+        if rows[i] >> j & 1:
+            schedule[i] = j
+            in_free &= ~(1 << i)
+            out_free &= ~(1 << j)
+        return in_free, out_free
+
+    def _pre_words(self, rows, schedule, in_free, out_free):
+        i, j = self._rr_i, self._rr_j
+        if rows[i][j >> 6] >> (j & 63) & 1:
+            schedule[i] = j
+            in_free[i >> 6] &= ~(1 << (i & 63))
+            out_free[j >> 6] &= ~(1 << (j & 63))
+
+    def _cycle_done(self) -> None:
+        self._rr_i = (self._rr_i + 1) % self.n
+        if self._rr_i == 0:
+            self._rr_j = (self._rr_j + 1) % self.n

@@ -15,11 +15,16 @@ from repro.baselines.registry import make_scheduler
 from repro.core.base import Scheduler
 from repro.fastpath.islip import FastISLIP
 from repro.fastpath.lcf import FastLCFCentral, FastLCFCentralRR
+from repro.fastpath.lcf_dist import FastLCFDistributed, FastLCFDistributedRR
 from repro.fastpath.pim import FastPIM
 
 _FAST_FACTORIES: dict[str, Callable[..., Scheduler]] = {
     "lcf_central": lambda n, **kw: FastLCFCentral(n),
     "lcf_central_rr": lambda n, **kw: FastLCFCentralRR(n),
+    "lcf_dist": lambda n, iterations=4, **kw: FastLCFDistributed(n, iterations),
+    "lcf_dist_rr": lambda n, iterations=4, **kw: FastLCFDistributedRR(
+        n, iterations
+    ),
     "islip": lambda n, iterations=4, **kw: FastISLIP(n, iterations),
     "pim": lambda n, iterations=4, seed=0, **kw: FastPIM(n, iterations, seed),
 }

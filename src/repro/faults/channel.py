@@ -43,6 +43,9 @@ import numpy as np
 
 from repro.core.base import IterativeScheduler, Scheduler, rotating_argmin
 from repro.core.lcf_dist import IterationTrace, LCFDistributed, LCFDistributedRR
+from repro.fastpath.bitops import derive_cols, unpack_rows
+from repro.fastpath.kernel import BitmaskKernelMixin
+from repro.fastpath.lcf_dist import FastLCFDistributed, FastLCFDistributedRR
 from repro.core.lcf_dist_agents import (
     AcceptMsg,
     GrantMsg,
@@ -57,6 +60,8 @@ __all__ = [
     "LossyLCFDistributed",
     "LossyLCFDistributedRR",
     "LossyLCFDistributedAgents",
+    "FastLossyLCFDistributed",
+    "FastLossyLCFDistributedRR",
     "RequestLossFilter",
     "FastRequestLossFilter",
     "make_lossy_scheduler",
@@ -162,6 +167,221 @@ class LossyLCFDistributedRR(_LossyIterationsMixin, LCFDistributedRR):
     advances the same ``(i, j)`` counter), so the overlay pre-match
     itself needs no message and is unaffected by channel loss.
     """
+
+    name = "lcf_dist_rr"
+
+    def __init__(
+        self,
+        n: int,
+        injector: FaultInjector,
+        iterations: int = LCFDistributedRR.DEFAULT_ITERATIONS,
+    ):
+        super().__init__(n, iterations)
+        self._init_channel(injector)
+
+
+class _FastLossyChannelMixin:
+    """Bitset twin of :class:`_LossyIterationsMixin`: the same lossy
+    request/grant/accept iteration, on the mask hot path of
+    :class:`~repro.fastpath.lcf_dist.FastLCFDistributed`.
+
+    The cycle counter lives in ``schedule_masks`` because the bitset
+    kernels bypass ``_schedule`` entirely; either entry point advances
+    it exactly once per scheduling cycle. Bit-identity with the matrix
+    wrappers (schedules, traces, pointer evolution, cycle numbering) is
+    property-tested in ``tests/fastpath/``.
+    """
+
+    injector: FaultInjector
+
+    def _init_channel(self, injector: FaultInjector) -> None:
+        self.injector = injector
+        self._cycle = -1
+        self._iteration = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._cycle = -1
+        self._iteration = 0
+
+    def schedule_masks(
+        self, rows: list[int], cols: list[int] | None = None
+    ) -> list[int]:
+        self._cycle += 1
+        self._iteration = 0
+        return super().schedule_masks(rows, cols)
+
+    # Multi-word entry: join the word tuples and run the single-word
+    # lossy iteration on big Python ints (correct at any width; the
+    # lossy channel is modelled per message, so there is no word-tuned
+    # variant — n > 64 lossy runs are rare and still beat numpy).
+    schedule_words = BitmaskKernelMixin.schedule_words
+
+    def _iterate_masks(
+        self,
+        rows: list[int],
+        cols: list[int],
+        schedule: list[int],
+        in_free: int,
+        out_free: int,
+        full: int,
+    ) -> tuple[bool, int, int]:
+        n = self.n
+        slot, iteration = self._cycle, self._iteration
+        self._iteration += 1
+        injector = self.injector
+
+        # Request step: live rows and the sender-side (advisory) nrq,
+        # bucketed by value for the grant scan (see the perfect-channel
+        # kernel). A candidate's nrq counts what it *sent*, so buckets
+        # are built from the pre-thinning live rows.
+        nrq = [0] * n
+        buckets: dict[int, int] = {}
+        live = [0] * n
+        total = 0
+        remaining = in_free
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            i = low.bit_length() - 1
+            mask = rows[i] & out_free
+            live[i] = mask
+            count = mask.bit_count()
+            nrq[i] = count
+            total += count
+            if count:
+                buckets[count] = buckets.get(count, 0) | low
+        if not total:
+            return False, in_free, out_free  # genuinely converged
+        values = sorted(buckets)
+
+        # Channel: thin the delivered requests (delivery decides ngt
+        # and grant candidates; nrq stays sender-side).
+        delivered = live
+        if injector.plan.request_loss > 0.0:
+            survives = injector.message_survives
+            delivered = live[:]
+            remaining = in_free
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                i = low.bit_length() - 1
+                mask = delivered[i]
+                scan = mask
+                while scan:
+                    bit = scan & -scan
+                    scan ^= bit
+                    if not survives(
+                        slot, iteration, REQUEST, i, bit.bit_length() - 1
+                    ):
+                        mask ^= bit
+                delivered[i] = mask
+        delivered_cols = derive_cols(delivered, n)
+
+        # Grant step over delivered requests; each grant is itself a
+        # message that may die in flight (the pointer only advances on
+        # a committed match, so a lost grant leaves state untouched).
+        grant_ptr = self._grant_ptr
+        record = self.record_trace
+        trace_grants = [] if record else None
+        offers = [0] * n
+        ngt = [0] * n
+        granted_inputs = 0
+        remaining = out_free
+        while remaining:
+            out_bit = remaining & -remaining
+            remaining ^= out_bit
+            j = out_bit.bit_length() - 1
+            cand = delivered_cols[j]
+            if not cand:
+                continue
+            ngt[j] = cand.bit_count()
+            for value in values:
+                tied = cand & buckets[value]
+                if tied:
+                    start = grant_ptr[j]
+                    rotated = (tied >> start) | ((tied << (n - start)) & full)
+                    winner = start + (rotated & -rotated).bit_length() - 1
+                    if winner >= n:
+                        winner -= n
+                    break
+            if injector.message_survives(slot, iteration, GRANT, j, winner):
+                offers[winner] |= out_bit
+                granted_inputs |= 1 << winner
+                if trace_grants is not None:
+                    trace_grants.append((winner, j))
+
+        trace = None
+        if record:
+            grants = np.zeros((n, n), dtype=bool)
+            for gi, gj in trace_grants:
+                grants[gi, gj] = True
+            trace = IterationTrace(
+                unpack_rows(delivered, n),
+                np.array(nrq, dtype=np.int64),
+                grants,
+                np.array(ngt, dtype=np.int64),
+            )
+
+        # Accept step: a lost accept aborts the match — neither side
+        # commits and the pointers stay put.
+        accept_ptr = self._accept_ptr
+        remaining = granted_inputs
+        while remaining:
+            in_bit = remaining & -remaining
+            remaining ^= in_bit
+            i = in_bit.bit_length() - 1
+            mask = offers[i]
+            start = accept_ptr[i]
+            rotated = (mask >> start) | ((mask << (n - start)) & full)
+            best = n + 1
+            j = -1
+            while rotated:
+                low = rotated & -rotated
+                out = start + low.bit_length() - 1
+                if out >= n:
+                    out -= n
+                count = ngt[out]
+                if count < best:
+                    best = count
+                    j = out
+                    if count == 1:
+                        break  # a granting target's ngt floor
+                rotated ^= low
+            if not injector.message_survives(slot, iteration, ACCEPT, i, j):
+                continue  # lost accept: retry next round
+            schedule[i] = j
+            in_free &= ~in_bit
+            out_free &= ~(1 << j)
+            grant_ptr[j] = i + 1 if i + 1 < n else 0
+            accept_ptr[i] = j + 1 if j + 1 < n else 0
+            if trace is not None:
+                trace.accepts.append((i, j))
+        if trace is not None:
+            self.last_trace.append(trace)
+        # Requests were attempted, so a later iteration may still match
+        # even if every message died this round — no early convergence.
+        return True, in_free, out_free
+
+
+class FastLossyLCFDistributed(_FastLossyChannelMixin, FastLCFDistributed):
+    """Bitset twin of :class:`LossyLCFDistributed`."""
+
+    name = "lcf_dist"
+
+    def __init__(
+        self,
+        n: int,
+        injector: FaultInjector,
+        iterations: int = LCFDistributed.DEFAULT_ITERATIONS,
+    ):
+        super().__init__(n, iterations)
+        self._init_channel(injector)
+
+
+class FastLossyLCFDistributedRR(_FastLossyChannelMixin, FastLCFDistributedRR):
+    """Bitset twin of :class:`LossyLCFDistributedRR` (the overlay
+    pre-match is local state, so it needs no channel treatment)."""
 
     name = "lcf_dist_rr"
 
@@ -433,14 +653,20 @@ def make_lossy_scheduler(
     :class:`RequestLossFilter` so the whole registry can be swept along
     a loss axis without crashing or silently ignoring the plan.
 
-    ``fast=True`` wraps the :mod:`repro.fastpath` kernel (when the name
-    has one) in :class:`FastRequestLossFilter` — bit-identical results,
-    bitmask hot path. Names without a fast kernel fall back to the
-    reference wrapper, so the flag is always safe.
+    ``fast=True`` selects the bitset twin of the faithful lossy
+    protocol for the distributed family, and wraps every other
+    :mod:`repro.fastpath` kernel in :class:`FastRequestLossFilter` —
+    bit-identical results, bitmask hot path. Names without a fast
+    kernel fall back to the reference wrapper, so the flag is always
+    safe.
     """
     if name == "lcf_dist":
+        if fast:
+            return FastLossyLCFDistributed(n, injector, iterations)
         return LossyLCFDistributed(n, injector, iterations)
     if name == "lcf_dist_rr":
+        if fast:
+            return FastLossyLCFDistributedRR(n, injector, iterations)
         return LossyLCFDistributedRR(n, injector, iterations)
     if fast:
         from repro.fastpath.registry import has_fast_kernel, make_fast_scheduler

@@ -12,6 +12,8 @@ from collections import deque
 
 import numpy as np
 
+from repro.fastpath.bitops import WORD_BITS, word_count
+
 
 class PacketQueue:
     """Per-input FIFO of ``(dst, t_generated)`` pairs with finite capacity.
@@ -73,6 +75,15 @@ class VOQSet:
         #: the request state without building a matrix.
         self.row_masks: list[int] = [0] * n
         self.col_masks: list[int] = [0] * n
+        #: Word-tuple twins of the masks for ``n > 64`` switches (the
+        #: multi-word kernel layout of :mod:`repro.fastpath.bitops`);
+        #: ``None`` when a row fits one machine word.
+        self.row_words: list[list[int]] | None = None
+        self.col_words: list[list[int]] | None = None
+        if n > WORD_BITS:
+            words = word_count(n)
+            self.row_words = [[0] * words for _ in range(n)]
+            self.col_words = [[0] * words for _ in range(n)]
 
     @property
     def occupancy(self) -> np.ndarray:
@@ -95,6 +106,9 @@ class VOQSet:
         if len(queue) == 1:
             self.row_masks[i] |= 1 << j
             self.col_masks[j] |= 1 << i
+            if self.row_words is not None:
+                self.row_words[i][j >> 6] |= 1 << (j & 63)
+                self.col_words[j][i >> 6] |= 1 << (i & 63)
 
     def pop(self, i: int, j: int) -> int:
         """Dequeue the head packet of VOQ (i, j); returns its timestamp."""
@@ -104,6 +118,9 @@ class VOQSet:
         if not queue:
             self.row_masks[i] &= ~(1 << j)
             self.col_masks[j] &= ~(1 << i)
+            if self.row_words is not None:
+                self.row_words[i][j >> 6] &= ~(1 << (j & 63))
+                self.col_words[j][i >> 6] &= ~(1 << (i & 63))
         return t_generated
 
     def request_matrix(self) -> np.ndarray:

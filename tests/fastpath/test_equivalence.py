@@ -62,7 +62,7 @@ class TestKernelEquivalence:
             assert (copy == matrix).all()
         if name in ("lcf_central", "lcf_central_rr"):
             assert fast.rr_offsets == reference.rr_offsets
-        if name == "islip":
+        if name in ("islip", "lcf_dist", "lcf_dist_rr"):
             for ref_ptr, fast_ptr in zip(reference.pointers, fast.pointers):
                 assert np.array_equal(ref_ptr, fast_ptr)
 
@@ -83,6 +83,67 @@ class TestKernelEquivalence:
                 assert fast_step.granted == ref_step.granted
                 assert fast_step.rr_won == ref_step.rr_won
                 assert np.array_equal(fast_step.nrq_before, ref_step.nrq_before)
+
+    @pytest.mark.parametrize("name", ["lcf_dist", "lcf_dist_rr"])
+    @given(run=matrix_runs(min_n=2, max_n=6, max_len=6))
+    @settings(max_examples=25, deadline=None)
+    def test_distributed_iteration_traces_bit_identical(self, name, run):
+        n, matrices = run
+        reference, fast = make_pair(name, n)
+        reference.record_trace = fast.record_trace = True
+        for matrix in matrices:
+            reference.schedule(matrix)
+            fast.schedule(matrix)
+            assert len(fast.last_trace) == len(reference.last_trace)
+            for ref_it, fast_it in zip(reference.last_trace, fast.last_trace):
+                assert np.array_equal(fast_it.requests, ref_it.requests)
+                assert np.array_equal(fast_it.nrq, ref_it.nrq)
+                assert np.array_equal(fast_it.grants, ref_it.grants)
+                assert np.array_equal(fast_it.ngt, ref_it.ngt)
+                assert fast_it.accepts == ref_it.accepts
+
+    @pytest.mark.parametrize("name", ["lcf_dist", "lcf_dist_rr"])
+    @given(
+        run=matrix_runs(min_n=2, max_n=6, max_len=6),
+        request_loss=st.floats(0.0, 0.6),
+        grant_loss=st.floats(0.0, 0.6),
+        accept_loss=st.floats(0.0, 0.6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lossy_channel_composition_bit_identical(
+        self, name, run, request_loss, grant_loss, accept_loss, seed
+    ):
+        # The faithful per-message lossy protocol and its bitset twin
+        # must agree cycle for cycle: schedules AND iteration traces,
+        # including the stale sender-side nrq advisory under loss.
+        from repro.faults.channel import make_lossy_scheduler
+        from repro.faults.injector import FaultInjector
+
+        n, matrices = run
+        plan = FaultPlan(
+            request_loss=request_loss,
+            grant_loss=grant_loss,
+            accept_loss=accept_loss,
+        )
+        reference = make_lossy_scheduler(
+            name, n, FaultInjector(plan, n, seed=seed), fast=False
+        )
+        fast = make_lossy_scheduler(
+            name, n, FaultInjector(plan, n, seed=seed), fast=True
+        )
+        reference.record_trace = fast.record_trace = True
+        for matrix in matrices:
+            assert np.array_equal(reference.schedule(matrix), fast.schedule(matrix))
+            assert len(fast.last_trace) == len(reference.last_trace)
+            for ref_it, fast_it in zip(reference.last_trace, fast.last_trace):
+                assert np.array_equal(fast_it.requests, ref_it.requests)
+                assert np.array_equal(fast_it.nrq, ref_it.nrq)
+                assert np.array_equal(fast_it.grants, ref_it.grants)
+                assert np.array_equal(fast_it.ngt, ref_it.ngt)
+                assert fast_it.accepts == ref_it.accepts
+            for ref_ptr, fast_ptr in zip(reference.pointers, fast.pointers):
+                assert np.array_equal(ref_ptr, fast_ptr)
 
     @pytest.mark.parametrize("name", FAST_NAMES)
     def test_reset_rewinds_both_twins_to_the_same_state(self, name):
@@ -118,6 +179,37 @@ class TestKernelEquivalence:
         a = np.random.default_rng(seed).choice(indices)
         b = indices[int(np.random.default_rng(seed).integers(0, len(indices)))]
         assert a == b
+
+
+class TestWordBoundaryEquivalence:
+    """The multi-word dispatch must be seamless across the 64-bit edge:
+    one bit below, exactly at, one bit above, and two full words."""
+
+    @pytest.mark.parametrize("name", FAST_NAMES)
+    @pytest.mark.parametrize("n", [63, 64, 65, 128])
+    def test_schedules_bit_identical_at_word_boundaries(self, name, n):
+        rng = np.random.default_rng(n)
+        reference, fast = make_pair(name, n)
+        for _ in range(3):
+            matrix = rng.random((n, n)) < rng.uniform(0.1, 0.9)
+            assert np.array_equal(reference.schedule(matrix), fast.schedule(matrix))
+
+    @pytest.mark.parametrize("name", ["lcf_dist", "lcf_dist_rr"])
+    def test_distributed_traces_bit_identical_across_the_boundary(self, name):
+        n = 65
+        rng = np.random.default_rng(1)
+        reference, fast = make_pair(name, n)
+        reference.record_trace = fast.record_trace = True
+        matrix = rng.random((n, n)) < 0.3
+        reference.schedule(matrix)
+        fast.schedule(matrix)
+        assert len(fast.last_trace) == len(reference.last_trace)
+        for ref_it, fast_it in zip(reference.last_trace, fast.last_trace):
+            assert np.array_equal(fast_it.requests, ref_it.requests)
+            assert np.array_equal(fast_it.nrq, ref_it.nrq)
+            assert np.array_equal(fast_it.grants, ref_it.grants)
+            assert np.array_equal(fast_it.ngt, ref_it.ngt)
+            assert fast_it.accepts == ref_it.accepts
 
 
 CROSSBAR_SCHEDULERS = tuple(

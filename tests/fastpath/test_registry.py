@@ -5,6 +5,7 @@ import pytest
 from repro.baselines.registry import available_schedulers, make_scheduler
 from repro.fastpath.islip import FastISLIP
 from repro.fastpath.lcf import FastLCFCentral, FastLCFCentralRR
+from repro.fastpath.lcf_dist import FastLCFDistributed, FastLCFDistributedRR
 from repro.fastpath.pim import FastPIM
 from repro.fastpath.registry import (
     FAST_SCHEDULER_NAMES,
@@ -20,7 +21,14 @@ def test_fast_names_are_a_subset_of_the_registry():
 
 def test_fast_schedulers_lists_the_kernels_sorted():
     assert fast_schedulers() == tuple(sorted(FAST_SCHEDULER_NAMES))
-    assert set(fast_schedulers()) == {"islip", "lcf_central", "lcf_central_rr", "pim"}
+    assert set(fast_schedulers()) == {
+        "islip",
+        "lcf_central",
+        "lcf_central_rr",
+        "lcf_dist",
+        "lcf_dist_rr",
+        "pim",
+    }
 
 
 @pytest.mark.parametrize(
@@ -28,6 +36,8 @@ def test_fast_schedulers_lists_the_kernels_sorted():
     [
         ("lcf_central", FastLCFCentral),
         ("lcf_central_rr", FastLCFCentralRR),
+        ("lcf_dist", FastLCFDistributed),
+        ("lcf_dist_rr", FastLCFDistributedRR),
         ("islip", FastISLIP),
         ("pim", FastPIM),
     ],
@@ -41,7 +51,7 @@ def test_covered_names_resolve_to_bitset_kernels(name, cls):
     assert scheduler.name == make_scheduler(name, 8).name
 
 
-@pytest.mark.parametrize("name", ["lqf", "lcf_dist", "lcf_dist_rr"])
+@pytest.mark.parametrize("name", ["lqf", "wfront", "ocf"])
 def test_uncovered_names_fall_back_to_the_reference(name):
     assert not has_fast_kernel(name)
     fast = make_fast_scheduler(name, 4)
@@ -59,3 +69,7 @@ def test_constructor_keywords_are_honoured():
     pim = make_fast_scheduler("pim", 8, iterations=3, seed=7)
     assert pim.iterations == 3
     assert pim.seed == 7
+    dist = make_fast_scheduler("lcf_dist", 8, iterations=2)
+    assert dist.iterations == 2
+    dist_rr = make_fast_scheduler("lcf_dist_rr", 8, iterations=6)
+    assert dist_rr.iterations == 6

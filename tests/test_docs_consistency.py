@@ -1,4 +1,5 @@
-"""docs/API.md must reference only symbols that import from repro.
+"""docs/API.md must reference only symbols that import from repro,
+and every relative link in README.md / docs/*.md must resolve.
 
 Thin pytest wrapper around ``tools/check_docs_consistency.py`` (CI also
 runs the script directly) so doc drift fails the tier-1 suite.
@@ -36,3 +37,56 @@ def test_checker_catches_bogus_symbol():
     assert not tool.resolves("repro.sim", "DefinitelyNotARealSymbol")
     assert tool.resolves("repro.sim", "run_simulation")
     assert tool.resolves("repro.sim", "repro.sim.fifo_switch.FIFOSwitch")
+
+
+def test_every_relative_link_resolves():
+    tool = load_tool()
+    failures = []
+    links = 0
+    for document in tool.linked_documents():
+        links += sum(1 for _ in tool.iter_links(document.read_text()))
+        failures += tool.check_links(document)
+    assert links > 10, "link extraction regressed — too few links found"
+    assert not failures, "dead docs links:\n" + "\n".join(failures)
+
+
+def test_index_reaches_every_docs_file():
+    """docs/INDEX.md must link every Markdown guide in docs/."""
+    tool = load_tool()
+    index = tool.REPO_ROOT / "docs" / "INDEX.md"
+    linked = {
+        (index.parent / target.partition("#")[0]).resolve()
+        for target, _ in tool.iter_links(index.read_text())
+        if not tool.EXTERNAL.match(target) and target.partition("#")[0]
+    }
+    for guide in (tool.REPO_ROOT / "docs").glob("*.md"):
+        if guide.name == "INDEX.md":
+            continue
+        assert guide.resolve() in linked, f"docs/INDEX.md does not link {guide.name}"
+
+
+def test_heading_anchors_follow_github_slug_rules(tmp_path):
+    tool = load_tool()
+    anchors = tool.heading_anchors(
+        "# Hello World\n## n > 64 (wide)\n## `code` span\n## Dup\n## Dup\n"
+    )
+    assert anchors == {"hello-world", "n--64-wide", "code-span", "dup", "dup-1"}
+
+
+def test_link_checker_flags_dead_links_and_anchors(tmp_path):
+    tool = load_tool()
+    target = tmp_path / "target.md"
+    target.write_text("# Real Heading\n")
+    source = tmp_path / "source.md"
+    source.write_text(
+        "[ok](target.md)\n"
+        "[ok-anchor](target.md#real-heading)\n"
+        "[dead](missing.md)\n"
+        "[dead-anchor](target.md#not-there)\n"
+        "[external](https://example.com/missing.md)\n"
+        "```\n[in a code fence](also-missing.md)\n```\n"
+    )
+    failures = tool.check_links(source)
+    assert len(failures) == 2
+    assert "dead link `missing.md`" in failures[0]
+    assert "dead anchor" in failures[1]

@@ -39,6 +39,22 @@ from repro.fastpath.bench import (  # noqa: E402
 DEFAULT_FLOORS = ("lcf_central_rr:16:3.0",)
 
 
+def prune_report(report: dict, max_n: int | None) -> dict:
+    """Drop cells wider than ``max_n`` ports (None keeps everything).
+
+    CI's perf-smoke job measures only up to 64 ports to stay fast, so
+    it prunes both reports to the measured widths — otherwise the
+    baseline's wider cells would read as "missing from current".
+    """
+    if max_n is None:
+        return report
+    schedulers = {
+        name: {n: cell for n, cell in cells.items() if int(n) <= max_n}
+        for name, cells in report.get("schedulers", {}).items()
+    }
+    return {**report, "schedulers": schedulers}
+
+
 def parse_floor(text: str) -> tuple[tuple[str, int], float]:
     try:
         name, n, floor = text.rsplit(":", 2)
@@ -76,15 +92,25 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute speedup floor, repeatable "
         f"(default: {', '.join(DEFAULT_FLOORS)})",
     )
+    parser.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ignore cells (and floors) wider than N ports — for runs "
+        "that measured a width subset of the baseline",
+    )
     args = parser.parse_args(argv)
     floors = dict(
         args.floors
         if args.floors is not None
         else (parse_floor(text) for text in DEFAULT_FLOORS)
     )
+    if args.max_n is not None:
+        floors = {(name, n): f for (name, n), f in floors.items() if n <= args.max_n}
 
-    baseline = load_report(args.baseline)
-    current = load_report(args.current)
+    baseline = prune_report(load_report(args.baseline), args.max_n)
+    current = prune_report(load_report(args.current), args.max_n)
     for name, n, cell in iter_cells(current):
         print(
             f"{name:<16} n={n:<3} ref {cell['reference_slots_per_sec']:>10.0f}/s  "

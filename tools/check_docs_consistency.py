@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Docs-consistency check: every public symbol referenced in
-``docs/API.md`` must actually import from ``repro``.
+"""Docs-consistency checks: symbols must import, links must resolve.
 
-The reference is organised as Markdown tables under section headers
-that name a module in backticks, e.g. ``## Simulation (`repro.sim`)``.
-For every table row whose first cell is a code span, this script
-extracts each symbol (stripping call signatures, splitting ``a / b``
-alternatives) and resolves it, in order, against
+Two independent checks, both run by CI and by the tier-1 wrapper in
+``tests/test_docs_consistency.py``:
+
+**Symbols** — every public symbol referenced in ``docs/API.md`` must
+actually import from ``repro``. The reference is organised as Markdown
+tables under section headers that name a module in backticks, e.g.
+``## Simulation (`repro.sim`)``. For every table row whose first cell
+is a code span, this script extracts each symbol (stripping call
+signatures, splitting ``a / b`` alternatives) and resolves it, in
+order, against
 
 1. the top-level ``repro`` namespace,
 2. the section's module,
@@ -15,8 +19,16 @@ alternatives) and resolves it, in order, against
 Rows under sections with no module in the header (e.g. *Conventions*)
 and cells that are not plain identifiers (``lcf-sweep``) are skipped.
 
+**Links** — every relative Markdown link in ``README.md`` and
+``docs/*.md`` must point at a file that exists (resolved against the
+containing file's directory), and a ``#fragment`` must name a heading
+anchor of the target file under GitHub's slug rules (``#`` alone and
+external ``scheme://``/``mailto:`` targets are skipped; links inside
+fenced code blocks are not links). This is what keeps
+``docs/INDEX.md`` an index instead of a wish list.
+
 Exit status 0 if everything resolves, 1 otherwise — CI runs this after
-the test suite so the API reference can never drift silently.
+the test suite so the docs can never drift silently.
 """
 
 from __future__ import annotations
@@ -81,6 +93,86 @@ def resolves(section_module: str, symbol: str) -> bool:
         return False
 
 
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*#*\s*$")
+FENCE = re.compile(r"^(```|~~~)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def linked_documents() -> list[Path]:
+    """The files whose outgoing relative links are validated."""
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def strip_code_fences(text: str) -> list[str]:
+    """Lines of ``text`` with fenced code blocks blanked (not removed,
+    so line numbers stay aligned with the source file)."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def heading_anchors(text: str) -> set[str]:
+    """GitHub-style anchor slugs of every heading in a Markdown text:
+    lowercase, punctuation dropped (code-span backticks included),
+    spaces to hyphens, ``-1``/``-2`` suffixes on duplicates."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in strip_code_fences(text):
+        match = HEADING.match(line)
+        if not match:
+            continue
+        title = match.group("title")
+        slug = re.sub(r"[^\w\- ]", "", title.lower().strip()).replace(" ", "-")
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def iter_links(text: str):
+    """Yield (target, line_number) for every inline Markdown link."""
+    for number, line in enumerate(strip_code_fences(text), start=1):
+        for match in LINK.finditer(line):
+            yield match.group(1), number
+
+
+def check_links(path: Path) -> list[str]:
+    """Dead relative links / dead anchors in one Markdown file."""
+    failures = []
+    rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+    text = path.read_text()
+    for target, number in iter_links(text):
+        if EXTERNAL.match(target) or target.startswith("//"):
+            continue  # external URL — not this checker's business
+        file_part, _, anchor = target.partition("#")
+        if not file_part and not anchor:
+            continue
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                failures.append(f"{rel}:{number}: dead link `{target}`")
+                continue
+            anchor_source = resolved
+        else:
+            anchor_source = path  # pure fragment: same-file anchor
+        if anchor:
+            if anchor_source.suffix != ".md" or not anchor_source.is_file():
+                continue  # anchors into non-Markdown targets: unverifiable
+            if anchor.lower() not in heading_anchors(anchor_source.read_text()):
+                failures.append(
+                    f"{rel}:{number}: dead anchor `{target}` "
+                    f"(no such heading in {anchor_source.name})"
+                )
+    return failures
+
+
 def main() -> int:
     src = REPO_ROOT / "src"
     if src.is_dir() and str(src) not in sys.path:
@@ -97,11 +189,19 @@ def main() -> int:
                 f"from repro or {section_module}"
             )
 
+    link_count = 0
+    for document in linked_documents():
+        document_links = list(iter_links(document.read_text()))
+        link_count += len(document_links)
+        failures += check_links(document)
+
     if failures:
         print("\n".join(failures))
-        print(f"\n{len(failures)}/{checked} referenced symbols failed to resolve")
+        print(f"\n{len(failures)} docs-consistency failure(s) "
+              f"({checked} symbols, {link_count} links checked)")
         return 1
-    print(f"docs/API.md: all {checked} referenced symbols import cleanly")
+    print(f"docs OK: {checked} referenced symbols import cleanly, "
+          f"{link_count} links resolve")
     return 0
 
 
