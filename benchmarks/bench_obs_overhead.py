@@ -19,6 +19,7 @@ import time
 from benchmarks.conftest import BENCH_CONFIG
 from repro.baselines.registry import make_scheduler
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.serve import SnapshotExporter, effective_exporter
 from repro.obs.tracer import NullTracer, RingTracer
 from repro.sim.crossbar import InputQueuedSwitch
 from repro.traffic.bernoulli import BernoulliUniform
@@ -68,6 +69,46 @@ def test_disabled_path_overhead_budget():
         f"disabled-path instrumentation costs {ratio:.3f}x "
         f"(budget {MAX_DISABLED_OVERHEAD}x)"
     )
+
+
+def test_disabled_exporter_overhead_budget(tmp_path):
+    """A disabled SnapshotExporter must cost as much as none at all.
+
+    ``effective_exporter`` resolves a disabled exporter to ``None``
+    before the simulation driver's block loop, so — exactly like the
+    NullTracer contract above — the per-slot path is structurally
+    identical with and without one. The run here mimics the driver:
+    ``tick`` is only ever reached when an exporter survives resolution.
+    """
+
+    def run_with(exporter) -> float:
+        resolved = effective_exporter(exporter)
+        switch = InputQueuedSwitch(
+            BENCH_CONFIG, make_scheduler("lcf_central_rr", 16)
+        )
+        pattern = BernoulliUniform(16, 0.9, seed=1)
+        arrivals = [pattern.arrivals() for _ in range(SLOTS)]
+        start = time.perf_counter()
+        for slot in range(SLOTS):
+            switch.step(slot, arrivals[slot])
+            if resolved is not None:
+                resolved.tick(slot)
+        return time.perf_counter() - start
+
+    disabled = SnapshotExporter(
+        MetricsRegistry(), tmp_path / "snap.prom", enabled=False
+    )
+    for attempt in range(4):
+        baseline = min(run_with(None) for _ in range(5))
+        gated = min(run_with(disabled) for _ in range(5))
+        ratio = gated / baseline
+        if ratio <= MAX_DISABLED_OVERHEAD:
+            break
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        f"disabled snapshot exporter costs {ratio:.3f}x "
+        f"(budget {MAX_DISABLED_OVERHEAD}x)"
+    )
+    assert disabled.writes == 0 and not (tmp_path / "snap.prom").exists()
 
 
 def test_step_loop_uninstrumented(benchmark):

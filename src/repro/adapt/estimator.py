@@ -94,6 +94,15 @@ class HealthEstimator:
         self._m_detect = metrics.histogram("detection_latency", _LATENCY_BUCKETS)
         self._m_readmit_lat = metrics.histogram("readmit_latency", _LATENCY_BUCKETS)
 
+        # Live suspect count as a collector-refreshed gauge: only export
+        # paths (snapshots, scrapes) pay for the mask reduction, and the
+        # keyed registration means a re-attach replaces rather than
+        # stacks the closure.
+        def _collect() -> None:
+            metrics.gauge("active_suspects").set(int(self.blocked.sum()))
+
+        metrics.add_collector(f"adapt-suspects-{id(self)}", _collect)
+
     def attach(self, tracer, metrics: MetricsRegistry | None) -> None:
         """Late-bind instrumentation (the switch resolves its tracer
         after the estimator may already exist)."""

@@ -5,6 +5,12 @@ DESIGN.md's index at a chosen fidelity and writes a self-contained
 Markdown report: the Figure 12 tables and shape checks, Tables 1–2, the
 Section 6.2 comparison, the fairness probes, and the VOQ-leveling
 measurement — the machine-generated counterpart of EXPERIMENTS.md.
+
+``lcf-report --dashboard`` runs the matching-efficiency-vs-load
+dashboard instead (:func:`repro.obs.analytics.run_matching_dashboard`):
+achieved/maximum matching per (scheduler, load) cell of the Figure 12
+grid, joined with the cached sweep's latency/throughput columns, as
+CSV + a plot (matplotlib when installed, ASCII otherwise).
 """
 
 from __future__ import annotations
@@ -165,6 +171,66 @@ def generate_report(fidelity: str = "quick", n_ports: int = 16, seed: int = 1) -
     return "\n".join(sections)
 
 
+#: Crossbar schedulers the dashboard probes by default (fifo/outbuf run
+#: dedicated switch models with no crossbar matching to score).
+DASHBOARD_SCHEDULERS = (
+    "lcf_central",
+    "lcf_central_rr",
+    "lcf_dist",
+    "lcf_dist_rr",
+    "pim",
+    "islip",
+    "wfront",
+)
+
+
+def run_dashboard(args) -> int:
+    """The ``--dashboard`` mode: matching efficiency across the grid."""
+    from repro.obs.analytics import (
+        dashboard_ascii,
+        run_matching_dashboard,
+        write_dashboard_csv,
+        write_dashboard_plot,
+    )
+
+    loads, warmup, measure = FIDELITIES[args.fidelity]
+    if args.loads:
+        loads = tuple(float(x) for x in args.loads.split(","))
+    config = SimConfig(
+        n_ports=args.ports, warmup_slots=warmup, measure_slots=measure,
+        seed=args.seed,
+    )
+    schedulers = (
+        tuple(args.schedulers.split(",")) if args.schedulers
+        else DASHBOARD_SCHEDULERS
+    )
+    rows, sweep_report = run_matching_dashboard(
+        config,
+        schedulers,
+        loads,
+        cache=args.cache_dir,
+        probe_slots=args.probe_slots,
+        fast=args.fast,
+    )
+    if args.csv:
+        print(f"wrote {write_dashboard_csv(rows, args.csv)}")
+    if args.png:
+        written = write_dashboard_plot(rows, args.png)
+        if written is not None:
+            print(f"wrote {written}")
+        else:
+            print("matplotlib not installed; ASCII fallback:")
+            print(dashboard_ascii(rows))
+    if not args.csv and not args.png:
+        print(dashboard_ascii(rows))
+    cached = sweep_report.cache_hits if sweep_report is not None else 0
+    print(
+        f"{len(rows)} grid cells ({len(schedulers)} schedulers x "
+        f"{len(loads)} loads), {cached} sweep points from cache"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="lcf-report",
@@ -175,7 +241,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--output", metavar="PATH", default=None,
                         help="write to a file instead of stdout")
+    parser.add_argument("--dashboard", action="store_true",
+                        help="emit the matching-efficiency-vs-load dashboard "
+                             "instead of the Markdown report")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="sweep result cache directory (dashboard mode)")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="write the dashboard grid as CSV")
+    parser.add_argument("--png", metavar="PATH", default=None,
+                        help="write the dashboard plot as PNG (needs "
+                             "matplotlib; falls back to ASCII)")
+    parser.add_argument("--schedulers", metavar="A,B,...", default=None,
+                        help="comma-separated scheduler subset (dashboard)")
+    parser.add_argument("--loads", metavar="0.6,0.9,...", default=None,
+                        help="comma-separated load override (dashboard)")
+    parser.add_argument("--probe-slots", type=int, default=400,
+                        help="slots per matching-quality probe run")
+    parser.add_argument("--fast", action="store_true",
+                        help="use the fastpath kernels for dashboard runs")
     args = parser.parse_args(argv)
+    if args.dashboard:
+        return run_dashboard(args)
     report = generate_report(args.fidelity, args.ports, args.seed)
     if args.output:
         with open(args.output, "w") as handle:

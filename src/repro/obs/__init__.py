@@ -12,15 +12,39 @@ schedulers, and sweep engine:
 * :mod:`repro.obs.chrome` — Chrome trace-event / Perfetto export;
 * :mod:`repro.obs.probe` — :class:`MatchingQualityProbe`, achieved
   versus maximum matching size;
+* :mod:`repro.obs.estimators` — online :class:`RateEstimator` (per-pair
+  EWMA) and :class:`P2Quantile` / :class:`StreamingQuantiles` (live
+  delay percentiles without sample storage);
+* :mod:`repro.obs.serve` — :class:`MetricsSnapshot` OpenMetrics/JSON
+  rendering, the periodic :class:`SnapshotExporter`, and the HTTP
+  :class:`ScrapeEndpoint`;
+* :mod:`repro.obs.analytics` — paper-check probes
+  (:class:`MessageAccountingProbe`, :class:`FairnessProbe`) and the
+  matching-efficiency dashboard behind ``lcf-report --dashboard``;
 * :mod:`repro.obs.cli` — the ``lcf-trace`` command.
 
 See ``docs/OBSERVABILITY.md`` for the end-to-end walkthrough.
 """
 
+from repro.obs.analytics import (
+    FairnessProbe,
+    FairnessReport,
+    MessageAccountingProbe,
+    MessageAccountingReport,
+)
 from repro.obs.chrome import to_chrome_trace, write_chrome_trace
+from repro.obs.estimators import P2Quantile, RateEstimator, StreamingQuantiles
 from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES, validate_event
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.probe import MatchingQualityProbe
+from repro.obs.serve import (
+    MetricsSnapshot,
+    ScrapeEndpoint,
+    SnapshotExporter,
+    effective_exporter,
+    render_json,
+    render_openmetrics,
+)
 from repro.obs.tracer import (
     JsonlTracer,
     NullTracer,
@@ -47,6 +71,19 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MatchingQualityProbe",
+    "RateEstimator",
+    "P2Quantile",
+    "StreamingQuantiles",
+    "MetricsSnapshot",
+    "SnapshotExporter",
+    "ScrapeEndpoint",
+    "effective_exporter",
+    "render_openmetrics",
+    "render_json",
+    "MessageAccountingProbe",
+    "MessageAccountingReport",
+    "FairnessProbe",
+    "FairnessReport",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

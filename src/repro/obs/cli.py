@@ -62,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fast", action="store_true",
                         help="use the repro.fastpath bitmask kernel for the "
                         "scheduler (bit-identical trace and summary)")
+    parser.add_argument("--snapshot", metavar="PATH", default=None,
+                        help="dump a final OpenMetrics snapshot of the run's "
+                        "metrics registry here (.json suffix switches to JSON)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the decision summary")
     return parser
@@ -120,6 +123,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.chrome} ({spans} trace events)")
     if args.out and not args.quiet:
         print(f"wrote {args.out} ({tracer.emitted} events)")
+    if args.snapshot:
+        from repro.ioutil import atomic_write_text
+        from repro.obs.serve import render_json, render_openmetrics
+
+        render = (
+            render_json if args.snapshot.endswith(".json") else render_openmetrics
+        )
+        final_slot = config.total_slots - 1 if config.total_slots else None
+        atomic_write_text(args.snapshot, render(metrics, slot=final_slot))
+        if not args.quiet:
+            print(f"wrote {args.snapshot} ({len(metrics)} metrics)")
 
     if not args.quiet:
         print(decision_summary(args, switch, metrics, probe))
@@ -156,6 +170,24 @@ def decision_summary(
         f"RR-override rate        {_rate(overrides, slots):8.3f} per slot  "
         f"({_rate(overrides, grants):.4f} of grants)"
     )
+    quantiles = switch.delay_quantiles
+    if quantiles is not None and quantiles.count:
+        lines.append(
+            f"live delay percentiles  {quantiles.summary()}  "
+            f"(P2 streaming, {quantiles.count} samples)"
+        )
+    estimator = switch.rate_estimator
+    if estimator is not None and estimator.events:
+        at = switch._live_slot
+        lines.append(
+            f"live service rate       {estimator.total_rate(at):8.3f} "
+            f"forwards/slot (EWMA alpha={estimator.alpha:g})"
+        )
+        hottest = ", ".join(
+            f"{i}->{j} {rate:.3f}" for i, j, rate in estimator.top_pairs(at)
+        )
+        if hottest:
+            lines.append(f"hottest pairs           {hottest}")
     choices = metrics.get("choice_count")
     if isinstance(choices, Histogram) and choices.count:
         lines.append(f"granted-input choice count (mean {choices.mean:.2f}):")

@@ -1,0 +1,237 @@
+"""Online estimators: per-pair EWMA rates and P² streaming quantiles.
+
+The serving layer (:mod:`repro.obs.serve`) exposes *live* values while a
+simulation is still running, which rules out anything that stores
+samples. Two estimators cover what an operator watching a long soak run
+actually needs:
+
+* :class:`RateEstimator` — an exponentially weighted moving average of
+  the per-slot service rate for every (input, output) pair, the online
+  counterpart of the post-hoc :class:`~repro.sim.metrics.ServiceMatrix`.
+  Updates are *lazy*: a pair's value decays only when it is touched or
+  read, so a slot's cost is O(forwards), never O(n²). During a port
+  outage the affected row/column visibly decays toward zero and climbs
+  back as the switch heals — the signal the ROADMAP's "watch a faulted
+  switch heal" item asks for.
+* :class:`P2Quantile` — the Jain–Chlamtac P² algorithm: one quantile
+  estimate from five markers, O(1) per observation, no sample storage.
+  :class:`StreamingQuantiles` bundles the standard p50/p90/p99 delay
+  set. Accuracy against exact percentiles is property-tested in
+  ``tests/obs/test_estimators.py``.
+
+Both are pure Python/numpy state machines with no export opinion; the
+switch wires them into its :class:`~repro.obs.metrics.MetricsRegistry`
+as collector-refreshed gauges (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["RateEstimator", "P2Quantile", "StreamingQuantiles"]
+
+
+class RateEstimator:
+    """Per-(input, output) EWMA of events per slot, with lazy decay.
+
+    The underlying recurrence is the standard per-slot EWMA
+
+        ``r[t] = (1 - alpha) * r[t-1] + alpha * x[t]``
+
+    where ``x[t]`` is the number of events the pair saw in slot ``t``
+    (0 or 1 for crossbar forwards). Slots with no events only multiply
+    by ``(1 - alpha)``, so they are applied in one power at the next
+    touch or read instead of one at a time — ``observe`` and ``rate``
+    are O(1) and a full :meth:`matrix` read is one vectorised
+    expression. The estimate converges to the pair's true service rate
+    (events/slot) with time constant ``~1/alpha`` slots.
+    """
+
+    def __init__(self, n: int, alpha: float = 0.02):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.n = n
+        self.alpha = alpha
+        self._value = np.zeros((n, n), dtype=np.float64)
+        self._slot = np.zeros((n, n), dtype=np.int64)
+        self.events = 0
+
+    def reset(self) -> None:
+        self._value[:] = 0.0
+        self._slot[:] = 0
+        self.events = 0
+
+    def observe(self, input: int, output: int, slot: int) -> None:
+        """Record one event for a pair at ``slot`` (non-decreasing)."""
+        decay = (1.0 - self.alpha) ** (slot - self._slot[input, output])
+        self._value[input, output] = (
+            self._value[input, output] * decay + self.alpha
+        )
+        self._slot[input, output] = slot
+        self.events += 1
+
+    def rate(self, input: int, output: int, at_slot: int) -> float:
+        """The pair's estimated events/slot as of ``at_slot``."""
+        decay = (1.0 - self.alpha) ** (at_slot - self._slot[input, output])
+        return float(self._value[input, output] * decay)
+
+    def matrix(self, at_slot: int) -> np.ndarray:
+        """The full ``(n, n)`` rate matrix decayed to ``at_slot``."""
+        return self._value * (1.0 - self.alpha) ** (at_slot - self._slot)
+
+    def input_rates(self, at_slot: int) -> np.ndarray:
+        """Per-input total service rate (row sums) at ``at_slot``."""
+        return self.matrix(at_slot).sum(axis=1)
+
+    def output_rates(self, at_slot: int) -> np.ndarray:
+        """Per-output total service rate (column sums) at ``at_slot``."""
+        return self.matrix(at_slot).sum(axis=0)
+
+    def total_rate(self, at_slot: int) -> float:
+        """Estimated switch-wide forwards per slot at ``at_slot``."""
+        return float(self.matrix(at_slot).sum())
+
+    def top_pairs(self, at_slot: int, k: int = 3) -> list[tuple[int, int, float]]:
+        """The ``k`` hottest (input, output, rate) pairs, hottest first."""
+        matrix = self.matrix(at_slot)
+        flat = np.argsort(matrix, axis=None)[::-1][:k]
+        return [
+            (int(index // self.n), int(index % self.n), float(matrix.flat[index]))
+            for index in flat
+            if matrix.flat[index] > 0.0
+        ]
+
+
+class P2Quantile:
+    """One streaming quantile via the P² algorithm (Jain & Chlamtac '85).
+
+    Five markers track the minimum, the q/2, q, and (1+q)/2 quantiles,
+    and the maximum; marker heights move by parabolic (falling back to
+    linear) interpolation as observations stream in. Until five samples
+    have arrived the estimate is read off the sorted warm-up buffer, so
+    :attr:`value` is always defined once anything was observed.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._heights: list[float] = []
+        # Marker positions (1-based, per the paper) and desired positions.
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def reset(self) -> None:
+        self.count = 0
+        self._heights = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * self.q, 1.0 + 4.0 * self.q,
+                         3.0 + 2.0 * self.q, 5.0]
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            heights.append(float(x))
+            heights.sort()
+            return
+
+        # Find the cell k such that heights[k] <= x < heights[k+1],
+        # stretching the extreme markers when x falls outside them.
+        if x < heights[0]:
+            heights[0] = float(x)
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = float(x)
+            k = 3
+        else:
+            k = 0
+            while k < 3 and not (heights[k] <= x < heights[k + 1]):
+                k += 1
+
+        positions = self._positions
+        for index in range(k + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+
+        # Adjust the three interior markers toward their desired spots.
+        for index in (1, 2, 3):
+            delta = self._desired[index] - positions[index]
+            below = positions[index] - positions[index - 1]
+            above = positions[index + 1] - positions[index]
+            if (delta >= 1.0 and above > 1.0) or (delta <= -1.0 and below > 1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + d / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, p = self._heights, self._positions
+        step = int(d)
+        return h[i] + d * (h[i + step] - h[i]) / (p[i + step] - p[i])
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (NaN before any observation)."""
+        if self.count == 0:
+            return math.nan
+        if self.count <= 5:
+            # Exact quantile of the warm-up buffer (nearest-rank blend).
+            rank = self.q * (len(self._heights) - 1)
+            low = int(rank)
+            high = min(low + 1, len(self._heights) - 1)
+            frac = rank - low
+            return self._heights[low] * (1.0 - frac) + self._heights[high] * frac
+        return self._heights[2]
+
+
+class StreamingQuantiles:
+    """A bank of :class:`P2Quantile` cells fed from one stream.
+
+    The default quantile set is the delay dashboard's p50/p90/p99.
+    """
+
+    DEFAULT_QS = (0.5, 0.9, 0.99)
+
+    def __init__(self, qs: tuple[float, ...] = DEFAULT_QS):
+        if not qs:
+            raise ValueError("need at least one quantile")
+        self.cells = {q: P2Quantile(q) for q in qs}
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        for cell in self.cells.values():
+            cell.add(x)
+
+    def reset(self) -> None:
+        self.count = 0
+        for cell in self.cells.values():
+            cell.reset()
+
+    def values(self) -> dict[float, float]:
+        """``{quantile: estimate}`` for every tracked quantile."""
+        return {q: cell.value for q, cell in self.cells.items()}
+
+    def summary(self) -> str:
+        parts = [
+            f"p{q * 100:g}={cell.value:.2f}" for q, cell in sorted(self.cells.items())
+        ]
+        return "  ".join(parts)

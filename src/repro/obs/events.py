@@ -29,7 +29,9 @@ Event vocabulary (the Figure 11 slot pipeline plus scheduler decisions):
     ``sched_step``, split out so override rates are one grep away).
 ``iteration``
     One request/grant/accept iteration of a distributed scheduler:
-    grants offered and accepts committed.
+    requests pending going in, grants offered and accepts committed.
+    ``requests`` feeds the Section 6.2 message accounting
+    (:class:`repro.obs.analytics.MessageAccountingProbe`).
 ``forward``
     A matched VOQ head traversed the fabric (latency in slots,
     inclusive of the transmission slot).
@@ -97,7 +99,12 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
         "tie_depth": (int,),
     },
     RR_OVERRIDE: {"input": (int,), "output": (int,)},
-    ITERATION: {"iteration": (int,), "grants": (int,), "accepts": (int,)},
+    ITERATION: {
+        "iteration": (int,),
+        "requests": (int,),
+        "grants": (int,),
+        "accepts": (int,),
+    },
     FORWARD: {"input": (int,), "output": (int,), "latency": (int,)},
     SLOT: {"matching_size": (int,), "requests": (int,), "voq": (list,)},
     FAULT: {"port": (int,), "side": (str,)},
@@ -151,11 +158,14 @@ def rr_override(slot: int, input: int, output: int) -> dict:
     return {"slot": slot, "type": RR_OVERRIDE, "input": input, "output": output}
 
 
-def iteration(slot: int, index: int, grants: int, accepts: int) -> dict:
+def iteration(
+    slot: int, index: int, grants: int, accepts: int, requests: int = 0
+) -> dict:
     return {
         "slot": slot,
         "type": ITERATION,
         "iteration": index,
+        "requests": requests,
         "grants": grants,
         "accepts": accepts,
     }

@@ -14,14 +14,24 @@ need to know what was registered:
 
 Everything is plain Python — no background threads, no export protocol.
 ``snapshot()`` flattens the registry to a JSON-serialisable dict for
-reports and tests.
+reports and tests; the scrapeable OpenMetrics/JSON rendering lives in
+:mod:`repro.obs.serve`.
+
+Derived values that are too expensive to maintain per slot — the live
+rate matrix, delay percentiles, the active-suspect count — are exported
+through *collectors*: callbacks registered with :meth:`~MetricsRegistry.
+add_collector` that refresh gauges on demand. :meth:`~MetricsRegistry.
+collect` runs them, and every export path (``snapshot()``, the
+OpenMetrics/JSON renderers, the scrape endpoint) calls it first, so a
+scrape always sees current values while the hot loop pays nothing.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
+from typing import Callable
 
 
 class Counter:
@@ -124,6 +134,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: dict[str, Callable[[], None]] = {}
 
     def _get(self, name: str, kind: type, factory):
         instrument = self._instruments.get(name)
@@ -160,8 +171,39 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._instruments)
 
+    def kind(self, name: str) -> str | None:
+        """``"counter"`` / ``"gauge"`` / ``"histogram"`` for a registered
+        name, ``None`` for an unknown one."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return None
+        return type(instrument).__name__.lower()
+
+    def instruments(self) -> Iterator[tuple[str, Counter | Gauge | Histogram]]:
+        """Iterate ``(name, instrument)`` pairs in sorted-name order."""
+        for name in self.names():
+            yield name, self._instruments[name]
+
+    def add_collector(self, key: str, fn: Callable[[], None]) -> None:
+        """Register an on-demand refresher for derived gauges.
+
+        ``key`` deduplicates: registering the same key again replaces
+        the callback (so a re-``attach`` cannot stack stale closures).
+        Collectors run in registration order via :meth:`collect`.
+        """
+        self._collectors[key] = fn
+
+    def collect(self) -> None:
+        """Run every registered collector (refresh derived gauges)."""
+        for fn in self._collectors.values():
+            fn()
+
     def snapshot(self) -> dict:
-        """JSON-serialisable dump of every instrument's current state."""
+        """JSON-serialisable dump of every instrument's current state.
+
+        Runs :meth:`collect` first, so derived gauges are current.
+        """
+        self.collect()
         out: dict = {}
         for name in self.names():
             instrument = self._instruments[name]

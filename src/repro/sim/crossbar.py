@@ -44,6 +44,7 @@ from repro.core.lcf_central import StepTrace
 from repro.core.lcf_dist import IterationTrace
 from repro.faults.injector import FaultInjector
 from repro.obs import events as ev
+from repro.obs.estimators import RateEstimator, StreamingQuantiles
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, effective_tracer
 from repro.sim.config import SimConfig
@@ -103,6 +104,17 @@ class InputQueuedSwitch:
             self._m_forwarded = metrics.counter("forwarded")
             self._m_dropped = metrics.counter("dropped")
             self._m_arrivals = metrics.counter("arrivals")
+            # Live estimators: cheap O(1) updates in _record_forward;
+            # everything derived from them (rate gauges, delay
+            # percentiles, queue depths) is refreshed lazily by the
+            # collector below, so only scrapes/snapshots pay for it.
+            self.rate_estimator = RateEstimator(n)
+            self.delay_quantiles = StreamingQuantiles()
+            self._live_slot = 0
+            metrics.add_collector("switch-live", self._collect_live)
+        else:
+            self.rate_estimator = None
+            self.delay_quantiles = None
         #: (i, j) when the distributed RR overlay will pre-match this slot.
         self._pending_rr: tuple[int, int] | None = None
 
@@ -530,7 +542,11 @@ class InputQueuedSwitch:
                 if tracer is not None:
                     tracer.emit(
                         ev.iteration(
-                            slot, index, int(it.grants.sum()), len(it.accepts)
+                            slot,
+                            index,
+                            int(it.grants.sum()),
+                            len(it.accepts),
+                            requests=int(it.requests.sum()),
                         )
                     )
                 if metrics is not None:
@@ -557,3 +573,34 @@ class InputQueuedSwitch:
             self.tracer.emit(ev.forward(slot, input, output, delay))
         if self.metrics is not None:
             self._m_forwarded.inc()
+            self.rate_estimator.observe(input, output, slot)
+            self.delay_quantiles.add(delay)
+            self._live_slot = slot
+
+    def _collect_live(self) -> None:
+        """Refresh the derived live-telemetry gauges (collector hook).
+
+        Runs on every export — ``MetricsRegistry.snapshot()``, the
+        OpenMetrics/JSON renderers, the scrape endpoint — never on the
+        per-slot path.
+        """
+        metrics = self.metrics
+        at = self._live_slot
+        gauge = metrics.gauge
+        estimator = self.rate_estimator
+        matrix = estimator.matrix(at)
+        for i in range(self.n):
+            for j in range(self.n):
+                gauge(f"rate_in{i}_out{j}").set(float(matrix[i, j]))
+        rows = matrix.sum(axis=1)
+        cols = matrix.sum(axis=0)
+        for i in range(self.n):
+            gauge(f"rate_input_{i}").set(float(rows[i]))
+            gauge(f"rate_output_{i}").set(float(cols[i]))
+        gauge("rate_total").set(float(matrix.sum()))
+        for q, value in self.delay_quantiles.values().items():
+            gauge(f"delay_p{q * 100:g}".replace(".", "_")).set(value)
+        gauge("queued_total").set(self.total_queued())
+        if self.injector is not None:
+            gauge("ports_down_input").set(int(self._down_in_prev.sum()))
+            gauge("ports_down_output").set(int(self._down_out_prev.sum()))

@@ -182,6 +182,7 @@ def run_simulation(
     faults: FaultPlan | dict | tuple | None = None,
     adapter=None,
     fast: bool = False,
+    exporter=None,
 ) -> SimResult:
     """Simulate one (scheduler, load) point of the Figure 12 grid.
 
@@ -213,7 +214,22 @@ def run_simulation(
     :func:`build_switch`). It is an execution detail, not part of the
     experiment definition: results are bit-identical either way, which
     is why sweep cache keys do not include it.
+
+    ``exporter`` attaches a :class:`repro.obs.serve.SnapshotExporter`:
+    its ``tick`` runs at driver block boundaries (every ``_SLOT_BLOCK``
+    slots at most) and a final snapshot is written when the run ends.
+    When no ``metrics`` registry is passed the exporter's own registry
+    is attached to the switch, so ``run_simulation(...,
+    exporter=SnapshotExporter(MetricsRegistry(), path))`` is all a soak
+    run needs. A disabled exporter resolves to ``None`` here — same
+    zero-overhead contract as ``effective_tracer``.
     """
+    from repro.obs.serve import effective_exporter
+
+    exporter = effective_exporter(exporter)
+    if exporter is not None and metrics is None:
+        metrics = exporter.registry
+
     if isinstance(traffic, TrafficPattern):
         pattern = traffic
     else:
@@ -269,6 +285,10 @@ def run_simulation(
             for offset, arrivals in enumerate(block):
                 switch.step(slot + offset, arrivals)
         slot = end
+        if exporter is not None:
+            exporter.tick(slot - 1)
+    if exporter is not None and config.total_slots:
+        exporter.write(config.total_slots - 1)
 
     stats = switch.latency
     percentiles = (

@@ -168,6 +168,29 @@ class SweepRunReport:
             lines.append(f"  per-point cProfile stats in {self.profile_dir}/")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (dashboard/CI artifacts)."""
+        return {
+            "total_points": self.total_points,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "workers": self.workers,
+            "wall_clock": self.wall_clock,
+            "points_per_sec": self.points_per_sec,
+            "merge_seconds": self.merge_seconds,
+            "scheduler_seconds": dict(self.scheduler_seconds),
+            "worker_stats": [
+                {
+                    "pid": stats.pid,
+                    "points": stats.points,
+                    "compute_seconds": stats.compute_seconds,
+                }
+                for stats in self.worker_stats
+            ],
+            "profile_dir": self.profile_dir,
+        }
+
 
 @dataclass
 class SweepRun:

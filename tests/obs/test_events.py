@@ -17,6 +17,7 @@ class TestConstructorsMatchSchema:
             ev.sched_step(2, 1, 0, -1, False, -1, -1),
             ev.rr_override(9, 4, 4),
             ev.iteration(7, 0, 4, 3),
+            ev.iteration(7, 1, 4, 3, requests=9),
             ev.forward(10, 2, 5, 4),
             ev.slot_summary(11, 12, 40),
             ev.slot_summary(11, 12, 40, [3, 0, 7, 1]),

@@ -117,3 +117,43 @@ class TestMetricsRegistry:
         assert snap["forwarded"] == 3
         assert snap["depth"] == 2.0
         assert snap["size"]["count"] == 1
+
+    def test_kind_and_instruments_iteration(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.gauge("g")
+        registry.histogram("h", buckets=[1])
+        assert registry.kind("c") == "counter"
+        assert registry.kind("g") == "gauge"
+        assert registry.kind("h") == "histogram"
+        assert registry.kind("missing") is None
+        assert [name for name, _ in registry.instruments()] == ["c", "g", "h"]
+
+
+class TestCollectors:
+    def test_collect_refreshes_derived_gauges(self):
+        registry = MetricsRegistry()
+        source = {"value": 1.0}
+        registry.add_collector(
+            "derived", lambda: registry.gauge("derived").set(source["value"])
+        )
+        registry.collect()
+        assert registry.gauge("derived").value == 1.0
+        source["value"] = 7.5
+        assert registry.snapshot()["derived"] == 7.5  # snapshot collects
+
+    def test_same_key_replaces_instead_of_stacking(self):
+        registry = MetricsRegistry()
+        calls = []
+        registry.add_collector("k", lambda: calls.append("old"))
+        registry.add_collector("k", lambda: calls.append("new"))
+        registry.collect()
+        assert calls == ["new"]
+
+    def test_collectors_run_in_registration_order(self):
+        registry = MetricsRegistry()
+        order = []
+        registry.add_collector("b", lambda: order.append("b"))
+        registry.add_collector("a", lambda: order.append("a"))
+        registry.collect()
+        assert order == ["b", "a"]

@@ -67,6 +67,22 @@ class TestEventStream:
         assert all(0 <= e["iteration"] < 4 for e in iterations)
         assert not tracer.of_type(ev.SCHED_STEP)
 
+    def test_iteration_events_carry_live_request_counts(self):
+        """The requests field feeds the Section 6.2 message accounting:
+        positive pending-request counts that never grow across the
+        iterations of one slot (grants only retire requests)."""
+        _, tracer, _ = traced_run("lcf_dist", load=0.9)
+        per_slot: dict[int, list[tuple[int, int]]] = {}
+        for event in tracer.of_type(ev.ITERATION):
+            per_slot.setdefault(event["slot"], []).append(
+                (event["iteration"], event["requests"])
+            )
+        assert per_slot
+        for rounds in per_slot.values():
+            counts = [requests for _, requests in sorted(rounds)]
+            assert counts[0] > 0
+            assert all(b <= a for a, b in zip(counts, counts[1:]))
+
     @pytest.mark.parametrize("scheduler", ["lcf_central_rr", "lcf_dist_rr"])
     def test_rr_variants_emit_overrides(self, scheduler):
         _, tracer, _ = traced_run(scheduler, load=0.95)

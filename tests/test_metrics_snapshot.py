@@ -1,0 +1,129 @@
+"""OpenMetrics snapshots must pass ``tools/check_metrics_snapshot.py``.
+
+Thin pytest wrapper around the conformance tool (CI also runs the script
+against a freshly scraped snapshot) so renderer/validator drift fails
+the tier-1 suite — the same pattern as ``test_docs_consistency.py``.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_metrics_snapshot.py"
+
+VALID = """\
+# TYPE forwarded counter
+forwarded 7
+# TYPE depth gauge
+depth NaN
+# TYPE delay histogram
+delay_bucket{le="1"} 2
+delay_bucket{le="4"} 3
+delay_bucket{le="+Inf"} 4
+delay_sum 14
+delay_count 4
+# EOF
+"""
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("check_metrics_snapshot", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_valid_snapshot_passes():
+    tool = load_tool()
+    assert tool.validate_openmetrics(VALID) == []
+    assert tool.validate_openmetrics(VALID, ["forwarded", "delay"]) == []
+
+
+def test_missing_expected_name_fails():
+    tool = load_tool()
+    errors = tool.validate_openmetrics(VALID, ["forwarded", "absent"])
+    assert errors == ["expected metric absent not present"]
+
+
+def test_missing_eof_fails():
+    tool = load_tool()
+    errors = tool.validate_openmetrics(VALID.replace("# EOF\n", ""))
+    assert any("EOF" in error for error in errors)
+
+
+def test_untyped_sample_fails():
+    tool = load_tool()
+    errors = tool.validate_openmetrics(VALID.replace("# TYPE forwarded counter\n", ""))
+    assert any("no # TYPE line" in error for error in errors)
+
+
+def test_negative_counter_fails():
+    tool = load_tool()
+    errors = tool.validate_openmetrics(VALID.replace("forwarded 7", "forwarded -1"))
+    assert any("counter forwarded" in error for error in errors)
+
+
+def test_nan_counter_fails_but_nan_gauge_is_fine():
+    tool = load_tool()
+    errors = tool.validate_openmetrics(VALID.replace("forwarded 7", "forwarded NaN"))
+    assert any("counter forwarded" in error for error in errors)
+
+
+def test_decreasing_cumulative_buckets_fail():
+    tool = load_tool()
+    broken = VALID.replace('delay_bucket{le="4"} 3', 'delay_bucket{le="4"} 1')
+    errors = tool.validate_openmetrics(broken)
+    assert any("cumulative" in error for error in errors)
+
+
+def test_inf_bucket_must_equal_count():
+    tool = load_tool()
+    broken = VALID.replace('delay_bucket{le="+Inf"} 4', 'delay_bucket{le="+Inf"} 5')
+    errors = tool.validate_openmetrics(broken)
+    assert any("+Inf bucket" in error for error in errors)
+
+
+def test_missing_inf_bucket_fails():
+    tool = load_tool()
+    broken = VALID.replace('delay_bucket{le="+Inf"} 4\n', "")
+    errors = tool.validate_openmetrics(broken)
+    assert any("+Inf" in error for error in errors)
+
+
+def test_unordered_le_edges_fail():
+    tool = load_tool()
+    broken = VALID.replace(
+        'delay_bucket{le="1"} 2\ndelay_bucket{le="4"} 3',
+        'delay_bucket{le="4"} 3\ndelay_bucket{le="1"} 2',
+    )
+    errors = tool.validate_openmetrics(broken)
+    assert any("increasing" in error for error in errors)
+
+
+def test_real_rendered_registry_is_conformant():
+    """End to end: a live registry render passes the tool's CLI."""
+    sys.path.insert(0, str(TOOL.parent.parent / "src"))
+    try:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.serve import render_openmetrics
+    finally:
+        sys.path.pop(0)
+    registry = MetricsRegistry()
+    registry.counter("slots").inc(100)
+    registry.histogram("matching_size", range(5)).observe(3)
+    text = render_openmetrics(registry, slot=99)
+    tool = load_tool()
+    assert tool.validate_openmetrics(text, ["slots", "matching_size"]) == []
+
+
+def test_cli_exit_codes(tmp_path):
+    good = tmp_path / "good.prom"
+    good.write_text(VALID)
+    bad = tmp_path / "bad.prom"
+    bad.write_text(VALID.replace("# EOF\n", ""))
+    env_cmd = [sys.executable, str(TOOL)]
+    assert subprocess.run([*env_cmd, str(good)]).returncode == 0
+    assert subprocess.run([*env_cmd, str(good), "--expect", "nope"]).returncode == 1
+    assert subprocess.run([*env_cmd, str(bad)]).returncode == 1
+    assert subprocess.run([*env_cmd, str(tmp_path / "missing.prom")]).returncode == 2

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics snapshot as written by ``repro.obs.serve``.
+
+Checks, without any Prometheus dependency:
+
+1. the text parses line by line: ``# TYPE <name> <kind>`` / ``# HELP``
+   comments, ``name{labels} value`` samples, and a final ``# EOF``;
+2. every ``# TYPE`` kind is ``counter``/``gauge``/``histogram`` and no
+   metric is typed twice;
+3. every sample belongs to a declared metric family (histograms via
+   their ``_bucket``/``_sum``/``_count`` suffixes) and its value parses
+   as a float (``NaN``/``+Inf``/``-Inf`` allowed on gauges);
+4. counter and histogram-count samples are non-negative;
+5. histogram buckets are *cumulative*: ``le`` edges strictly increase,
+   bucket counts are monotone non-decreasing, the final bucket is
+   ``le="+Inf"`` and equals ``<name>_count``;
+6. optionally (``--expect name1,name2``), the snapshot contains the
+   given metric families — how CI asserts a scraped snapshot actually
+   carries the registered instruments.
+
+Exit status 0 when valid, 1 otherwise. Also importable:
+:func:`validate_openmetrics` returns the error list for tests.
+
+Usage: ``python tools/check_metrics_snapshot.py SNAPSHOT.prom
+[--expect forwarded,slots,matching_size]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_KINDS = {"counter", "gauge", "histogram"}
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>\S+)$'
+)
+_LE = re.compile(r'le="(?P<le>[^"]+)"')
+
+
+def _parse_value(raw: str) -> float | None:
+    if raw == "NaN":
+        return math.nan
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def validate_openmetrics(
+    text: str, expected_names: list[str] | None = None
+) -> list[str]:
+    """All conformance errors in one snapshot (empty list = valid)."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    #: histogram name -> list of (le, cumulative count) in file order.
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    counts: dict[str, float] = {}
+    sums: set[str] = set()
+    sampled: set[str] = set()
+    saw_eof = False
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if saw_eof:
+            errors.append(f"line {number}: content after # EOF")
+            break
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "EOF":
+                saw_eof = True
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                name, kind = parts[2], parts[3]
+                if kind not in _KINDS:
+                    errors.append(f"line {number}: unknown kind {kind!r}")
+                if name in types:
+                    errors.append(f"line {number}: duplicate TYPE for {name}")
+                types[name] = kind
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                pass
+            else:
+                errors.append(f"line {number}: malformed comment {line!r}")
+            continue
+
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            errors.append(
+                f"line {number}: bad value {match.group('value')!r} for {name}"
+            )
+            continue
+
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        kind = types.get(family)
+        if kind is None:
+            errors.append(f"line {number}: sample {name} has no # TYPE line")
+            continue
+        sampled.add(family)
+
+        if kind == "histogram":
+            if name == f"{family}_bucket":
+                labels = match.group("labels") or ""
+                le_match = _LE.search(labels)
+                if le_match is None:
+                    errors.append(f"line {number}: {name} without an le label")
+                    continue
+                le_raw = le_match.group("le")
+                le = math.inf if le_raw == "+Inf" else _parse_value(le_raw)
+                if le is None:
+                    errors.append(f"line {number}: bad le {le_raw!r}")
+                    continue
+                buckets.setdefault(family, []).append((le, value))
+            elif name == f"{family}_count":
+                counts[family] = value
+                if value < 0:
+                    errors.append(f"line {number}: negative count for {family}")
+            elif name == f"{family}_sum":
+                sums.add(family)
+            else:
+                errors.append(
+                    f"line {number}: bare sample {name} for histogram {family}"
+                )
+        elif kind == "counter":
+            if not math.isfinite(value) or value < 0:
+                errors.append(
+                    f"line {number}: counter {name} must be finite and >= 0, "
+                    f"got {match.group('value')}"
+                )
+        # gauges may carry any value, NaN included
+
+    if not saw_eof:
+        errors.append("missing # EOF terminator")
+
+    for family, kind in types.items():
+        if family not in sampled:
+            errors.append(f"metric {family} has a TYPE line but no samples")
+
+    for family, series in buckets.items():
+        edges = [le for le, _ in series]
+        if edges != sorted(edges) or len(set(edges)) != len(edges):
+            errors.append(f"{family}: bucket le edges not strictly increasing")
+        values = [count for _, count in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append(f"{family}: cumulative bucket counts decrease")
+        if not edges or not math.isinf(edges[-1]):
+            errors.append(f"{family}: missing le=\"+Inf\" bucket")
+        elif family in counts and values[-1] != counts[family]:
+            errors.append(
+                f"{family}: +Inf bucket {values[-1]:g} != _count "
+                f"{counts[family]:g}"
+            )
+        if family not in counts:
+            errors.append(f"{family}: missing _count sample")
+        if family not in sums:
+            errors.append(f"{family}: missing _sum sample")
+    for family, kind in types.items():
+        if kind == "histogram" and family in sampled and family not in buckets:
+            errors.append(f"{family}: histogram with no _bucket samples")
+
+    for name in expected_names or []:
+        if name not in types:
+            errors.append(f"expected metric {name} not present")
+
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate an OpenMetrics snapshot file."
+    )
+    parser.add_argument("snapshot", metavar="SNAPSHOT.prom")
+    parser.add_argument(
+        "--expect", metavar="NAME,NAME,...", default=None,
+        help="comma-separated metric families that must be present",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.snapshot)
+    if not path.exists():
+        print(f"{path}: no such file", file=sys.stderr)
+        return 2
+    expected = (
+        [name for name in args.expect.split(",") if name] if args.expect else None
+    )
+    errors = validate_openmetrics(path.read_text(), expected)
+    if errors:
+        for error in errors[:20]:
+            print(error)
+        if len(errors) > 20:
+            print(f"... and {len(errors) - 20} more")
+        print(f"\n{len(errors)} conformance errors in {path}")
+        return 1
+    print(f"{path}: OpenMetrics-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
