@@ -129,10 +129,24 @@ def test_simulator_slot_throughput(benchmark, fast):
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Write the fast-vs-reference speed report (the CI perf baseline)."""
+    """Write the fast-vs-reference speed report (the CI perf baseline).
+
+    Families already in the output file that this suite does not
+    measure (e.g. ``fabric_clos`` from ``benchmarks/bench_fabric.py``)
+    are preserved, so regenerating the kernel cells cannot silently
+    drop another suite's baseline.
+    """
+    import json
+    from pathlib import Path
+
     argv = sys.argv[1:] if argv is None else argv
     out = argv[0] if argv else "BENCH_speed.json"
     report = run_speed_suite(sizes=DEFAULT_SIZES, progress=print)
+    out_path = Path(out)
+    if out_path.exists():
+        previous = json.loads(out_path.read_text()).get("schedulers", {})
+        for family, cells in previous.items():
+            report["schedulers"].setdefault(family, cells)
     write_report(report, out)
     print(f"wrote {out}")
     return 0

@@ -63,7 +63,15 @@ from repro.core import (
 )
 from repro.baselines.weighted import LQF, OCF
 from repro.core.multicast import MulticastCell, MulticastScheduler
-from repro.fabric import ClosNetwork, CrossbarFabric
+from repro.fabric import (
+    ClosNetwork,
+    CrossbarFabric,
+    FabricResult,
+    FabricShard,
+    FabricSpec,
+    make_router,
+    run_fabric,
+)
 from repro.fastpath import (
     FastISLIP,
     FastLCFCentral,
@@ -175,6 +183,12 @@ __all__ = [
     "MulticastScheduler",
     "CrossbarFabric",
     "ClosNetwork",
+    # multi-switch fabric simulation
+    "FabricSpec",
+    "FabricResult",
+    "FabricShard",
+    "run_fabric",
+    "make_router",
     # traffic
     "TrafficPattern",
     "make_traffic",

@@ -15,9 +15,41 @@ provides both:
 Any conflict-free schedule produced by the schedulers in
 :mod:`repro.core` / :mod:`repro.baselines` can be realised on either
 fabric; the Clos router returns the explicit middle-stage assignment.
+
+Beyond the static fabrics, :mod:`repro.fabric.sim` simulates a *live*
+three-stage Clos in which every stage switch is a full
+:class:`~repro.sim.crossbar.InputQueuedSwitch` running a registry
+scheduler, with flow routing, credit-based backpressure between
+stages, end-to-end latency tagging, and shard-parallel execution that
+is bit-identical to the serial engine (see ``docs/FABRIC.md``).
 """
 
 from repro.fabric.clos import ClosNetwork, ClosRouting
 from repro.fabric.crossbar import CrossbarFabric
+from repro.fabric.routing import (
+    FlowRouter,
+    HashRouter,
+    LeastLoadedRouter,
+    OfflineRouter,
+    make_router,
+)
+from repro.fabric.sim import FabricResult, FabricShard, run_fabric
+from repro.fabric.spec import ROUTING_POLICIES, FabricSpec
 
-__all__ = ["CrossbarFabric", "ClosNetwork", "ClosRouting"]
+__all__ = [
+    "CrossbarFabric",
+    "ClosNetwork",
+    "ClosRouting",
+    # live fabric simulation
+    "FabricSpec",
+    "FabricResult",
+    "FabricShard",
+    "run_fabric",
+    "ROUTING_POLICIES",
+    # flow routing
+    "FlowRouter",
+    "HashRouter",
+    "LeastLoadedRouter",
+    "OfflineRouter",
+    "make_router",
+]

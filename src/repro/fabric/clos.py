@@ -45,11 +45,17 @@ class ClosRouting:
     #: ``(input_port, output_port, middle_switch)`` per connection.
     assignments: tuple[tuple[int, int, int], ...]
 
+    def __post_init__(self) -> None:
+        # middle_of is on the fabric simulator's per-packet path, so the
+        # lookup must be O(1), not a scan over every connection.
+        object.__setattr__(
+            self,
+            "_by_pair",
+            {(i, j): middle for i, j, middle in self.assignments},
+        )
+
     def middle_of(self, input_port: int, output_port: int) -> int | None:
-        for i, j, middle in self.assignments:
-            if i == input_port and j == output_port:
-                return middle
-        return None
+        return self._by_pair.get((input_port, output_port))
 
 
 class ClosNetwork:

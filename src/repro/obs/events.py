@@ -5,7 +5,9 @@ Every event is a plain JSON-serialisable dict with at least a ``slot``
 constants below). The constructor functions are the only places events
 are built, so the wire format and :data:`EVENT_SCHEMA` cannot drift
 apart — ``tools/check_trace_schema.py`` and the CI trace job validate
-emitted JSONL against exactly this schema.
+emitted JSONL against exactly this schema. Events from a multi-switch
+fabric (:mod:`repro.fabric.sim`) additionally carry a ``switch`` field
+naming the emitting stage switch (see :data:`OPTIONAL_FIELDS`).
 
 Event vocabulary (the Figure 11 slot pipeline plus scheduler decisions):
 
@@ -115,6 +117,12 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
 }
 
 EVENT_TYPES = frozenset(EVENT_SCHEMA)
+
+#: Optional fields any event may carry in addition to its schema.
+#: ``switch`` identifies the emitting stage switch of a multi-switch
+#: fabric (``"s<stage>.<index>"``, e.g. ``"s1.3"``); single-switch
+#: simulations never set it.
+OPTIONAL_FIELDS: dict[str, tuple[type, ...]] = {"switch": (str,)}
 
 
 def arrival(slot: int, input: int, output: int) -> dict:
@@ -259,6 +267,11 @@ def validate_event(event: object) -> list[str]:
         errors.append(f"unknown event type: {kind!r}")
         return errors
     fields = EVENT_SCHEMA[kind]
+    for name, allowed in OPTIONAL_FIELDS.items():
+        if name in event and not isinstance(event[name], allowed):
+            errors.append(
+                f"{kind}.{name}: {type(event[name]).__name__} not in {allowed}"
+            )
     for name, allowed in fields.items():
         if name not in event:
             errors.append(f"{kind}: missing field {name!r}")
@@ -272,7 +285,7 @@ def validate_event(event: object) -> list[str]:
             isinstance(item, int) and not isinstance(item, bool) for item in value
         ):
             errors.append(f"{kind}.{name}: list items must be ints")
-    extras = set(event) - set(fields) - {"slot", "type"}
+    extras = set(event) - set(fields) - set(OPTIONAL_FIELDS) - {"slot", "type"}
     if extras:
         errors.append(f"{kind}: unexpected fields {sorted(extras)}")
     return errors

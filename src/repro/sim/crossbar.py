@@ -67,6 +67,8 @@ class InputQueuedSwitch:
         metrics: MetricsRegistry | None = None,
         injector: FaultInjector | None = None,
         adapter=None,
+        output_gate=None,
+        forward_sink=None,
     ):
         if scheduler.n != config.n_ports:
             raise ValueError(
@@ -125,6 +127,21 @@ class InputQueuedSwitch:
         if injector is not None and not injector.plan.has_topology_faults:
             injector = None
         self.injector = injector
+        #: Backpressure hook (the multi-stage fabric's credit gate):
+        #: ``output_gate(slot) -> bool[n]`` marks outputs whose
+        #: downstream boundary queue cannot accept a packet this slot.
+        #: Blocked outputs are masked out of the request matrix the
+        #: scheduler sees, and any grant that lands on one anyway is
+        #: dropped *before* the adapter observes outcomes — backpressure
+        #: must never teach the health estimator that a link is dead.
+        self.output_gate = output_gate
+        #: Per-forward hook: ``forward_sink(slot, input, output, payload)``
+        #: receives each departing packet's queued payload (normally the
+        #: generation timestamp; the fabric stores packet tags instead)
+        #: and returns the latency to record for it. With a sink attached
+        #: the switch no longer interprets the payload itself.
+        self.forward_sink = forward_sink
+        self.blocked_grants = 0
         #: Fault-reaction layer (repro.adapt). When attached, the switch
         #: runs fault-blind: see the module docstring.
         self.adapter = adapter
@@ -154,6 +171,8 @@ class InputQueuedSwitch:
             not self._observing
             and self.injector is None
             and adapter is None
+            and output_gate is None
+            and forward_sink is None
             and getattr(scheduler, "weight_kind", None) is None
             and callable(getattr(type(scheduler), kernel_entry, None))
         )
@@ -238,6 +257,12 @@ class InputQueuedSwitch:
             seen = self.voqs.request_matrix() & mask
         else:
             seen = None
+        blocked = self.output_gate(slot) if self.output_gate is not None else None
+        if blocked is not None:
+            if seen is None:
+                seen = self.voqs.request_matrix() & ~blocked
+            else:
+                seen = seen & ~blocked
         if observing:
             request_total = self._record_requests(slot, seen)
         weight_kind = getattr(self.scheduler, "weight_kind", None)
@@ -255,6 +280,15 @@ class InputQueuedSwitch:
         else:
             matrix = seen if seen is not None else self.voqs.request_matrix()
             schedule = self.scheduler.schedule(matrix)
+        if blocked is not None:
+            # Credit gate: no grant crosses into a full boundary queue.
+            # This runs *before* ``proposed`` is taken so the adapter
+            # never observes a backpressure drop as a failed grant.
+            for i in range(self.n):
+                j = schedule[i]
+                if j != NO_GRANT and blocked[j]:
+                    schedule[i] = NO_GRANT
+                    self.blocked_grants += 1
         proposed = schedule
         if mask is not None:
             # Defensive fabric gate: whatever the scheduler emitted, no
@@ -280,12 +314,16 @@ class InputQueuedSwitch:
             self._record_decisions(slot, schedule, request_total)
 
         # 4. Forwarding.
+        sink = self.forward_sink
         for i in range(self.n):
             j = schedule[i]
             if j == NO_GRANT:
                 continue
             t_generated = self.voqs.pop(i, int(j))
-            delay = slot - t_generated + 1
+            if sink is not None:
+                delay = sink(slot, i, int(j), t_generated)
+            else:
+                delay = slot - t_generated + 1
             if self.measuring:
                 self.forwarded += 1
                 self.latency.add(delay)

@@ -1,0 +1,137 @@
+"""Shard-count invariance: the sharded fabric engine is bit-identical
+to the serial one — statistics AND traces — for any shard count.
+
+This is the correctness contract that makes shard-parallel execution
+safe to use anywhere the serial engine is: conservative slot-block
+synchronisation plus canonical delivery ordering means the shard
+decomposition is unobservable.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.sim import run_fabric
+from repro.fabric.spec import FabricSpec
+from repro.obs.tracer import RingTracer
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+
+#: Scheduler mixes the property sweeps over — a homogeneous LCF fabric
+#: and a deliberately heterogeneous per-stage mix.
+MIXES = (
+    ("lcf_central_rr",),
+    ("islip", "lcf_central_rr", "lcf_dist_rr"),
+)
+
+FAULTED_MIDDLE = ((1, 1, (("port_down", ((0, 40, 90, "output"),)),)),)
+
+
+def fabric_spec(mix, seed, load, boundary, faults=()):
+    return FabricSpec(
+        m=4, k=4, r=4,
+        schedulers=mix,
+        config=SimConfig(
+            n_ports=16, warmup_slots=30, measure_slots=150, seed=seed
+        ),
+        load=load,
+        boundary_capacity=boundary,
+        stage_faults=faults,
+    )
+
+
+def run_traced(spec, shards):
+    tracer = RingTracer(1 << 18)
+    result = run_fabric(spec, shards=shards, tracer=tracer)
+    return result, tracer.events
+
+
+def assert_identical(spec, shards):
+    serial, serial_events = run_traced(spec, 1)
+    sharded, sharded_events = run_traced(spec, shards)
+    # Statistics: exact float equality, not approx — same arithmetic
+    # in the same order or the engine is wrong.
+    assert serial.mean_latency == sharded.mean_latency
+    assert serial.std_latency == sharded.std_latency
+    assert serial.max_latency == sharded.max_latency
+    assert serial.offered == sharded.offered
+    assert serial.forwarded == sharded.forwarded
+    assert serial.dropped == sharded.dropped
+    assert serial.stage_forwards == sharded.stage_forwards
+    assert serial.backpressure_slots == sharded.backpressure_slots
+    assert serial.fault_events == sharded.fault_events
+    assert serial.degraded_slots == sharded.degraded_slots
+    # Traces: the merged event streams are the same, event for event.
+    assert serial_events == sharded_events
+
+
+class TestShardInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        mix=st.sampled_from(MIXES),
+        shards=st.sampled_from((2, 4)),
+        seed=st.integers(min_value=1, max_value=2**31 - 1),
+        load=st.sampled_from((0.5, 0.85, 1.0)),
+    )
+    def test_stats_and_traces_identical(self, mix, shards, seed, load):
+        assert_identical(fabric_spec(mix, seed, load, boundary=16), shards)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        shards=st.sampled_from((2, 4)),
+        seed=st.integers(min_value=1, max_value=2**31 - 1),
+    )
+    def test_identical_under_backpressure(self, shards, seed):
+        # boundary=1 maximises cross-shard credit traffic — the
+        # hardest case for exchange ordering.
+        assert_identical(
+            fabric_spec(MIXES[1], seed, 1.0, boundary=1), shards
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        shards=st.sampled_from((2, 4)),
+        seed=st.integers(min_value=1, max_value=2**31 - 1),
+    )
+    def test_identical_with_faulted_middle_switch(self, shards, seed):
+        assert_identical(
+            fabric_spec(MIXES[0], seed, 0.9, boundary=8,
+                        faults=FAULTED_MIDDLE),
+            shards,
+        )
+
+    def test_shards_clamped_to_switch_count(self):
+        spec = fabric_spec(MIXES[0], seed=7, load=0.8, boundary=16)
+        oversubscribed = run_fabric(spec, shards=64)  # > 12 switches
+        serial = run_fabric(spec)
+        assert oversubscribed.mean_latency == serial.mean_latency
+
+
+class TestProcessBackend:
+    def test_process_backend_matches_inline(self):
+        spec = fabric_spec(MIXES[1], seed=11, load=0.9, boundary=4,
+                           faults=FAULTED_MIDDLE)
+        inline = run_fabric(spec, shards=3)
+        process = run_fabric(spec, shards=3, backend="process")
+        assert inline.mean_latency == process.mean_latency
+        assert inline.stage_forwards == process.stage_forwards
+        assert inline.backpressure_slots == process.backpressure_slots
+        assert inline.degraded_slots == process.degraded_slots
+
+
+class TestDegenerateFabric:
+    """A 1-stage, 1-switch fabric under sharding still equals
+    ``run_simulation`` bit for bit (shards clamp to 1)."""
+
+    @pytest.mark.parametrize("scheduler", ["lcf_central_rr", "islip"])
+    def test_sharded_degenerate_equals_run_simulation(self, scheduler):
+        config = SimConfig(n_ports=16, warmup_slots=50, measure_slots=200)
+        spec = FabricSpec.single(16, scheduler, config=config, load=0.9)
+        fabric = run_fabric(spec, shards=4)
+        single = run_simulation(config, scheduler, 0.9)
+        assert fabric.mean_latency == single.mean_latency
+        assert fabric.std_latency == single.std_latency
+        assert fabric.forwarded == single.forwarded
+        assert fabric.throughput == single.throughput

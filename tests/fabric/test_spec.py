@@ -1,0 +1,159 @@
+"""FabricSpec validation, derived topology, and the spec round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.spec import (
+    ROUTING_POLICIES,
+    UNSUPPORTED_FABRIC_SCHEDULERS,
+    FabricSpec,
+)
+from repro.sim.config import SimConfig
+
+
+def small_spec(**changes) -> FabricSpec:
+    defaults = dict(
+        m=4, k=4, r=4,
+        config=SimConfig(n_ports=16, warmup_slots=10, measure_slots=50),
+    )
+    defaults.update(changes)
+    return FabricSpec(**defaults)
+
+
+class TestValidation:
+    def test_stages_must_be_1_or_3(self):
+        with pytest.raises(ValueError, match="stages"):
+            small_spec(stages=2)
+
+    def test_dimensions_positive(self):
+        with pytest.raises(ValueError, match="m, k, r"):
+            small_spec(m=0)
+
+    def test_config_ports_must_match_topology(self):
+        with pytest.raises(ValueError, match="n_ports"):
+            small_spec(config=SimConfig(n_ports=8))
+
+    def test_scheduler_count_one_or_per_stage(self):
+        with pytest.raises(ValueError, match="schedulers"):
+            small_spec(schedulers=("islip", "pim"))
+
+    @pytest.mark.parametrize("name", sorted(UNSUPPORTED_FABRIC_SCHEDULERS))
+    def test_unsupported_schedulers_rejected(self, name):
+        with pytest.raises(ValueError, match="cannot drive a fabric stage"):
+            small_spec(schedulers=(name,))
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="cannot drive a fabric stage"):
+            small_spec(schedulers=("nope",))
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError, match="routing"):
+            small_spec(routing="teleport")
+
+    def test_boundary_and_link_delay_positive(self):
+        with pytest.raises(ValueError, match="boundary_capacity"):
+            small_spec(boundary_capacity=0)
+        with pytest.raises(ValueError, match="link_delay"):
+            small_spec(link_delay=0)
+
+    def test_load_range(self):
+        with pytest.raises(ValueError, match="load"):
+            small_spec(load=0.0)
+        with pytest.raises(ValueError, match="load"):
+            small_spec(load=1.5)
+
+    def test_fault_coordinates_checked(self):
+        with pytest.raises(ValueError, match="stage_faults"):
+            small_spec(stage_faults=((3, 0, ()),))
+        with pytest.raises(ValueError, match="stage_faults"):
+            small_spec(stage_faults=((1, 4, ()),))
+
+    def test_adapt_coordinates_checked(self):
+        with pytest.raises(ValueError, match="stage_adapt"):
+            small_spec(stage_adapt=((0, 9, ()),))
+
+
+class TestDerivedTopology:
+    def test_three_stage_counts_and_sizes(self):
+        spec = FabricSpec(m=2, k=4, r=3, config=SimConfig(n_ports=12))
+        assert spec.n_ports == 12
+        assert spec.stage_counts == (3, 2, 3)
+        # Ingress is 4x2, egress 2x4 -> both embed in a 4x4 crossbar;
+        # the middle stage is r x r.
+        assert spec.stage_sizes == (4, 3, 4)
+        assert spec.n_switches == 8
+
+    def test_degenerate_counts_and_sizes(self):
+        spec = FabricSpec.single(16)
+        assert spec.stages == 1
+        assert spec.stage_counts == (1,)
+        assert spec.stage_sizes == (16,)
+        assert spec.n_switches == 1
+
+    def test_stage_schedulers_broadcast(self):
+        assert small_spec().stage_schedulers == ("lcf_central_rr",) * 3
+        mix = ("islip", "lcf_central_rr", "pim")
+        assert small_spec(schedulers=mix).stage_schedulers == mix
+
+    def test_switch_label(self):
+        assert small_spec().switch_label(1, 3) == "s1.3"
+
+    def test_square_constructor(self):
+        spec = FabricSpec.square(64)
+        assert (spec.m, spec.k, spec.r) == (8, 8, 8)
+        assert spec.n_ports == 64
+        # Non-perfect-square port counts fall back to a divisor.
+        spec = FabricSpec.square(24)
+        assert spec.k * spec.r == 24
+
+    def test_describe_mentions_topology(self):
+        text = small_spec().describe()
+        assert "C(4,4,4)" in text
+        assert "16-port" in text
+
+
+class TestSpecRoundTrip:
+    def test_default_round_trip(self):
+        spec = small_spec()
+        assert FabricSpec.from_spec(spec.to_spec()) == spec
+
+    def test_full_round_trip(self):
+        spec = small_spec(
+            schedulers=("islip", "lcf_central_rr", "pim"),
+            load=0.95,
+            traffic="bursty",
+            traffic_kwargs=(("burst_length", 10),),
+            routing="least_loaded",
+            boundary_capacity=8,
+            link_delay=3,
+            stage_faults=((1, 0, (("port_down", ((0, 5, 9, "both"),)),)),),
+            stage_adapt=((2, 1, (("policy", "adaptive"),)),),
+        )
+        assert FabricSpec.from_spec(spec.to_spec()) == spec
+
+    def test_degenerate_round_trip(self):
+        spec = FabricSpec.single(8, "islip", load=0.5)
+        assert FabricSpec.from_spec(spec.to_spec()) == spec
+
+    def test_key_stable_and_distinct(self):
+        spec = small_spec()
+        assert spec.key() == small_spec().key()
+        assert spec.key() != small_spec(load=0.5).key()
+        assert spec.key() != small_spec(routing="offline").key()
+
+    def test_defaults_omitted_from_spec(self):
+        pairs = dict(small_spec().to_spec())
+        # Only non-default fields appear, so later additions with
+        # defaults cannot change existing cache keys.
+        assert "routing" not in pairs
+        assert "boundary_capacity" not in pairs
+        assert "stage_faults" not in pairs
+
+    def test_from_spec_accepts_dict(self):
+        spec = small_spec()
+        assert FabricSpec.from_spec(dict(spec.to_spec())) == spec
+
+    @pytest.mark.parametrize("routing", ROUTING_POLICIES)
+    def test_all_routing_policies_accepted(self, routing):
+        assert small_spec(routing=routing).routing == routing

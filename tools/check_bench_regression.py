@@ -39,6 +39,29 @@ from repro.fastpath.bench import (  # noqa: E402
 DEFAULT_FLOORS = ("lcf_central_rr:16:3.0",)
 
 
+def filter_families(
+    report: dict,
+    only: tuple[str, ...] | None = None,
+    exclude: tuple[str, ...] = (),
+) -> dict:
+    """Keep only the named benchmark families (top-level ``schedulers``
+    keys — registry scheduler names or composite families like
+    ``fabric_clos``). ``only=None`` keeps everything not excluded.
+
+    CI jobs measure disjoint family subsets (perf-smoke re-measures the
+    scheduler kernels and excludes the fabric family; the fabric job
+    measures only it), so both reports must be cut to the same families
+    before comparing — otherwise unmeasured families read as "missing
+    from current".
+    """
+    schedulers = {
+        name: cells
+        for name, cells in report.get("schedulers", {}).items()
+        if (only is None or name in only) and name not in exclude
+    }
+    return {**report, "schedulers": schedulers}
+
+
 def prune_report(report: dict, max_n: int | None) -> dict:
     """Drop cells wider than ``max_n`` ports (None keeps everything).
 
@@ -100,6 +123,21 @@ def main(argv: list[str] | None = None) -> int:
         help="ignore cells (and floors) wider than N ports — for runs "
         "that measured a width subset of the baseline",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="FAMILY",
+        help="check only this benchmark family (repeatable) — for runs "
+        "that measured a family subset of the baseline",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="skip this benchmark family (repeatable)",
+    )
     args = parser.parse_args(argv)
     floors = dict(
         args.floors
@@ -108,9 +146,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.max_n is not None:
         floors = {(name, n): f for (name, n), f in floors.items() if n <= args.max_n}
+    only = tuple(args.only) if args.only is not None else None
+    exclude = tuple(args.exclude)
+    floors = {
+        (name, n): f
+        for (name, n), f in floors.items()
+        if (only is None or name in only) and name not in exclude
+    }
 
-    baseline = prune_report(load_report(args.baseline), args.max_n)
-    current = prune_report(load_report(args.current), args.max_n)
+    baseline = prune_report(
+        filter_families(load_report(args.baseline), only, exclude), args.max_n
+    )
+    current = prune_report(
+        filter_families(load_report(args.current), only, exclude), args.max_n
+    )
     for name, n, cell in iter_cells(current):
         print(
             f"{name:<16} n={n:<3} ref {cell['reference_slots_per_sec']:>10.0f}/s  "
