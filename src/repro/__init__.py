@@ -72,6 +72,12 @@ from repro.fabric import (
     make_router,
     run_fabric,
 )
+from repro.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    resume_simulation,
+    save_checkpoint,
+)
 from repro.fastpath import (
     FastISLIP,
     FastLCFCentral,
@@ -92,11 +98,13 @@ from repro.obs import (
     Tracer,
 )
 from repro.sim import (
+    AdmissionController,
     InputQueuedSwitch,
     OutputBufferedSwitch,
     PipelinedSwitch,
     SimConfig,
     SimResult,
+    make_admission,
     run_simulation,
 )
 from repro.sim.cioq import CIOQSwitch
@@ -141,6 +149,8 @@ __all__ = [
     "SimConfig",
     "SimResult",
     "run_simulation",
+    "AdmissionController",
+    "make_admission",
     "InputQueuedSwitch",
     "OutputBufferedSwitch",
     "PipelinedSwitch",
@@ -159,6 +169,11 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "merge_results",
+    # checkpoint/restore
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "resume_simulation",
     # fault injection
     "FaultPlan",
     "FaultInjector",

@@ -104,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fast", action="store_true",
                         help="run on the repro.fastpath bitmask kernels "
                         "(bit-identical results, shared cache entries)")
+    # Checkpointing (single-run mode; applies to the adaptive run).
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="single-run mode: checkpoint the adaptive run's "
+                        "state here (estimator health tables included)")
+    parser.add_argument("--checkpoint-every", metavar="N", type=int, default=None,
+                        help="checkpoint cadence in slots (with --checkpoint)")
+    parser.add_argument("--resume", metavar="PATH", default=None,
+                        help="resume a checkpointed adaptive run; the "
+                        "oblivious baseline is re-run fresh for comparison")
     # Artifacts.
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="single-run mode: write the adaptive run's "
@@ -167,8 +176,11 @@ def _single_run(args: argparse.Namespace, adapt: AdaptConfig) -> int:
         reactive = run_simulation(
             config, args.scheduler, args.load, traffic=args.traffic,
             tracer=tracer, metrics=metrics, faults=plan, adapter=adapter,
-            fast=args.fast,
+            fast=args.fast, checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
         )
+    if args.checkpoint and not args.quiet:
+        print(f"checkpoint at {args.checkpoint}")
     if not args.quiet:
         print(f"fault plan: {plan.describe()}")
         print(f"reaction:   {adapt.describe()}")
@@ -204,6 +216,60 @@ def _single_run(args: argparse.Namespace, adapt: AdaptConfig) -> int:
                     "adaptive": reactive.row(),
                 },
                 indent=2,
+            ),
+        )
+    return 0
+
+
+def _resume(args: argparse.Namespace) -> int:
+    """Resume the adaptive half of a checkpointed comparison.
+
+    The checkpoint's stored run spec rebuilds the oblivious baseline
+    from scratch (it is cheap and deterministic), while the adaptive
+    run — estimator health tables and all — continues from the file.
+    """
+    from repro.checkpoint import CheckpointError, load_checkpoint, resume_simulation
+
+    tracer = JsonlTracer(args.trace_out) if args.trace_out else None
+    metrics = MetricsRegistry()
+    try:
+        run = load_checkpoint(args.resume)["run"]
+        reactive = resume_simulation(args.resume, tracer=tracer, metrics=metrics)
+    except CheckpointError as exc:
+        print(f"lcf-adapt: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
+    blind = run_simulation(
+        SimConfig(**run["config"]), run["scheduler"], run["load"],
+        traffic=run["traffic"], traffic_kwargs=run["traffic_kwargs"],
+        faults=run["faults"], adapter=ObliviousAdapter(), fast=run["fast"],
+    )
+    if not args.quiet:
+        for stance, result in (("oblivious", blind), ("adaptive", reactive)):
+            print(
+                f"{run['scheduler']} [{stance:9s}] load={run['load']:g}: "
+                f"throughput {result.throughput:.3f}, "
+                f"mean latency {result.mean_latency:.2f}, "
+                f"forwarded {result.forwarded}"
+            )
+    if args.trace_out and not args.quiet:
+        print(f"trace written to {args.trace_out}")
+    if args.json:
+        atomic_write_text(
+            args.json,
+            json.dumps(
+                {
+                    "mode": "resume",
+                    "scheduler": run["scheduler"],
+                    "load": run["load"],
+                    "adapt": dict(pair for pair in (run["adapt"] or [])),
+                    "oblivious": blind.row(),
+                    "adaptive": reactive.row(),
+                },
+                indent=2,
+                allow_nan=True,
             ),
         )
     return 0
@@ -280,6 +346,15 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"lcf-adapt: invalid reaction config: {exc}", file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None and not args.checkpoint:
+        print("lcf-adapt: --checkpoint-every needs --checkpoint", file=sys.stderr)
+        return 2
+    if args.resume:
+        if args.checkpoint:
+            print("lcf-adapt: --resume and --checkpoint are mutually "
+                  "exclusive", file=sys.stderr)
+            return 2
+        return _resume(args)
     if args.availability_grid is not None:
         return _grid(args, adapt)
     return _single_run(args, adapt)

@@ -1,0 +1,50 @@
+"""Checkpoint/restore for long simulation runs (the soak-run layer).
+
+``save_checkpoint``/``load_checkpoint`` define the on-disk envelope
+(versioned, checksummed, atomically written);
+:mod:`repro.checkpoint.state` captures and restores component state
+generically; :func:`resume_simulation` continues a checkpointed run —
+bit-identically — from where it stopped. The driver-side half lives in
+:func:`repro.sim.run_simulation` (``checkpoint_path`` /
+``checkpoint_every`` / ``stop_at_slot``).
+
+See ``docs/CHECKPOINT.md`` for the format, the guarantees, and the
+limitations (what is rebuilt versus restored, and why the tracer is
+neither).
+"""
+
+from repro.checkpoint.core import (
+    capture_payload,
+    make_run_spec,
+    resume_simulation,
+)
+from repro.checkpoint.format import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    payload_checksum,
+    save_checkpoint,
+)
+from repro.checkpoint.state import (
+    restore_metrics,
+    restore_state,
+    snapshot_metrics,
+    snapshot_state,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "capture_payload",
+    "load_checkpoint",
+    "make_run_spec",
+    "payload_checksum",
+    "restore_metrics",
+    "restore_state",
+    "resume_simulation",
+    "save_checkpoint",
+    "snapshot_metrics",
+    "snapshot_state",
+]

@@ -24,6 +24,7 @@ stages, end-to-end latency tagging, and shard-parallel execution that
 is bit-identical to the serial engine (see ``docs/FABRIC.md``).
 """
 
+from repro.fabric.checkpoint import resume_fabric
 from repro.fabric.clos import ClosNetwork, ClosRouting
 from repro.fabric.crossbar import CrossbarFabric
 from repro.fabric.routing import (
@@ -45,6 +46,7 @@ __all__ = [
     "FabricResult",
     "FabricShard",
     "run_fabric",
+    "resume_fabric",
     "ROUTING_POLICIES",
     # flow routing
     "FlowRouter",

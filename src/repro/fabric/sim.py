@@ -637,6 +637,39 @@ class FabricShard:
             },
         }
 
+    # -- checkpoint ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Complete shard state as tagged JSON (see `repro.checkpoint`).
+
+        The generic capture skips tracers as wiring, but this shard's
+        :class:`_BufferTracer` buffers *are* state — their events feed
+        the merged trace at harvest — so they are captured explicitly,
+        keyed ``"stage,index"`` to stay JSON-safe.
+        """
+        from repro.checkpoint import snapshot_state
+
+        state = snapshot_state(self)
+        state["tracers"] = {
+            f"{stage},{index}": [dict(event) for event in tracer.events]
+            for (stage, index), tracer in sorted(self.tracers.items())
+        }
+        return state
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore a :meth:`snapshot` capture onto this freshly built
+        shard (same spec, shard_id, n_shards, and flags)."""
+        from repro.checkpoint import restore_state
+
+        snapshot = dict(snapshot)
+        buffered = snapshot.pop("tracers", {})
+        restore_state(self, snapshot)
+        for key, events in buffered.items():
+            stage, index = (int(part) for part in key.split(","))
+            self.tracers[(stage, index)].events = [
+                dict(event) for event in events
+            ]
+
 
 def _merge_harvests(
     spec: FabricSpec,
@@ -728,6 +761,75 @@ def _merge_harvests(
     )
 
 
+def _drive_blocks(
+    spec: FabricSpec,
+    engines: list[FabricShard],
+    *,
+    start_slot: int = 0,
+    inbound_d: list[list[tuple]] | None = None,
+    inbound_c: list[list[tuple]] | None = None,
+    run_spec: dict | None = None,
+    checkpoint_path=None,
+    checkpoint_every: int | None = None,
+    stop_at_slot: int | None = None,
+) -> list[dict]:
+    """Advance inline engines block by block, checkpointing at barriers.
+
+    The checkpoint-capable drive loop shared by `run_fabric` and
+    `repro.fabric.checkpoint.resume_fabric`. Blocks are capped so a
+    barrier lands exactly on every ``checkpoint_every`` multiple and on
+    ``stop_at_slot``; a checkpoint is written at each cadence barrier
+    (and at the stop slot) but never at run completion.
+    """
+    shards = len(engines)
+    owner = {
+        coord: shard_id
+        for shard_id, engine in enumerate(engines)
+        for coord in engine.owned
+    }
+    if inbound_d is None:
+        inbound_d = [[] for _ in range(shards)]
+    if inbound_c is None:
+        inbound_c = [[] for _ in range(shards)]
+    total_slots = spec.config.total_slots
+    stop = total_slots if stop_at_slot is None else min(stop_at_slot, total_slots)
+    block = spec.link_delay
+    next_due = None
+    if checkpoint_every is not None:
+        next_due = (start_slot // checkpoint_every + 1) * checkpoint_every
+
+    slot = start_slot
+    while slot < stop:
+        n_slots = min(block, stop - slot)
+        if next_due is not None:
+            n_slots = min(n_slots, next_due - slot)
+        next_d: list[list[tuple]] = [[] for _ in range(shards)]
+        next_c: list[list[tuple]] = [[] for _ in range(shards)]
+        for shard_id, engine in enumerate(engines):
+            out_d, out_c = engine.run_block(
+                slot, n_slots, inbound_d[shard_id], inbound_c[shard_id]
+            )
+            for message in out_d:
+                next_d[owner[(message[1], message[2])]].append(message)
+            for message in out_c:
+                next_c[owner[(message[1], message[2])]].append(message)
+        inbound_d, inbound_c = next_d, next_c
+        slot += n_slots
+        if checkpoint_path is not None and slot < total_slots:
+            at_cadence = next_due is not None and slot >= next_due
+            if at_cadence or slot == stop_at_slot:
+                from repro.fabric.checkpoint import write_fabric_checkpoint
+
+                write_fabric_checkpoint(
+                    checkpoint_path, run_spec, slot, engines,
+                    inbound_d, inbound_c,
+                )
+            if next_due is not None:
+                while next_due <= slot:
+                    next_due += checkpoint_every
+    return [engine.harvest() for engine in engines]
+
+
 def run_fabric(
     spec: FabricSpec,
     *,
@@ -740,6 +842,9 @@ def run_fabric(
     collect_flows: bool = False,
     fast: bool = False,
     offline_routing=None,
+    checkpoint_path=None,
+    checkpoint_every: int | None = None,
+    stop_at_slot: int | None = None,
 ) -> FabricResult:
     """Simulate one :class:`~repro.fabric.spec.FabricSpec` point.
 
@@ -757,6 +862,12 @@ def run_fabric(
     OpenMetrics snapshots (single-shard engine only — live telemetry
     has no meaning half-merged). ``fast`` swaps every stage scheduler
     for its :mod:`repro.fastpath` kernel when one exists.
+
+    ``checkpoint_path``/``checkpoint_every``/``stop_at_slot`` write
+    per-shard checkpoints at barrier slots so a killed run resumes via
+    :func:`repro.fabric.checkpoint.resume_fabric` with bit-identical
+    results (inline engines only; not with live metrics/exporters or
+    ``offline_routing``). See ``docs/CHECKPOINT.md``.
     """
     from repro.obs.serve import effective_exporter
 
@@ -764,6 +875,31 @@ def run_fabric(
         raise ValueError(f"shards must be >= 1, got {shards}")
     if backend not in ("inline", "process"):
         raise ValueError(f"backend must be 'inline' or 'process', got {backend!r}")
+    if checkpoint_path is None and (
+        checkpoint_every is not None or stop_at_slot is not None
+    ):
+        raise ValueError(
+            "checkpoint_every/stop_at_slot need a checkpoint_path to write to"
+        )
+    if checkpoint_path is not None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if stop_at_slot is not None and stop_at_slot < 0:
+            raise ValueError(f"stop_at_slot must be >= 0, got {stop_at_slot}")
+        if backend == "process":
+            raise ValueError(
+                "checkpointing needs the inline engines (backend='inline')"
+            )
+        if metrics is not None or exporter is not None:
+            raise ValueError(
+                "checkpointing does not support live metrics/exporters"
+            )
+        if offline_routing is not None:
+            raise ValueError(
+                "checkpointing cannot serialise an offline_routing table"
+            )
     shards = min(shards, spec.n_switches)
     exporter = effective_exporter(exporter)
     if exporter is not None and metrics is None:
@@ -785,7 +921,31 @@ def run_fabric(
         offline_routing=offline_routing,
     )
 
-    if shards == 1:
+    if checkpoint_path is not None:
+        from repro.fabric.checkpoint import make_fabric_run_spec
+
+        engines = [
+            FabricShard(spec, shard_id, shards, **shard_kwargs)
+            for shard_id in range(shards)
+        ]
+        run_spec = make_fabric_run_spec(
+            spec=spec,
+            shards=shards,
+            collect_percentiles=collect_percentiles,
+            collect_flows=collect_flows,
+            tracing=tracing,
+            fast=fast,
+            checkpoint_every=checkpoint_every,
+        )
+        harvests = _drive_blocks(
+            spec,
+            engines,
+            run_spec=run_spec,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            stop_at_slot=stop_at_slot,
+        )
+    elif shards == 1:
         shard = FabricShard(spec, 0, 1, **shard_kwargs)
         if metrics is not None:
             _attach_metrics(metrics, shard)

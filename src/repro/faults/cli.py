@@ -131,6 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metric", default="throughput",
                         choices=("throughput", "mean_latency", "delivery"),
                         help="metric for the ASCII degradation plot")
+    # Checkpointing (single-run mode).
+    parser.add_argument("--admission", metavar="LOW:HIGH", default=None,
+                        help="single-run mode: attach threshold admission "
+                        "control with these occupancy watermarks")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="single-run mode: checkpoint the run's state here")
+    parser.add_argument("--checkpoint-every", metavar="N", type=int, default=None,
+                        help="checkpoint cadence in slots (with --checkpoint)")
+    parser.add_argument("--stop-at", metavar="SLOT", type=int, default=None,
+                        help="pause at this slot after a final checkpoint")
+    parser.add_argument("--resume", metavar="PATH", default=None,
+                        help="resume a checkpointed run (fault plan and "
+                        "scheduler come from the checkpoint; plan flags are "
+                        "ignored)")
     # Artifacts.
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="single-run mode: write the JSONL event trace")
@@ -195,6 +209,52 @@ def _build_plan(args: argparse.Namespace) -> FaultPlan:
     return plan
 
 
+def _parse_admission(text: str | None):
+    """``LOW:HIGH`` → admission spec dict (None passes through)."""
+    if text is None:
+        return None
+    low, sep, high = text.partition(":")
+    if not sep:
+        raise ValueError(f"expected LOW:HIGH, got {text!r}")
+    return {"low": int(low), "high": int(high)}
+
+
+def _resume_run(args: argparse.Namespace) -> int:
+    from repro.checkpoint import CheckpointError, resume_simulation
+
+    tracer = JsonlTracer(args.trace_out) if args.trace_out else None
+    metrics = MetricsRegistry()
+    try:
+        result = resume_simulation(args.resume, tracer=tracer, metrics=metrics)
+    except CheckpointError as exc:
+        print(f"lcf-faults: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if not args.quiet:
+        print(
+            f"{result.scheduler} load={result.load:g} (resumed): "
+            f"throughput {result.throughput:.3f}, "
+            f"mean latency {result.mean_latency:.2f}, "
+            f"offered {result.offered}, forwarded {result.forwarded}, "
+            f"dropped {result.dropped}, shed {result.shed}"
+        )
+    if args.trace_out and not args.quiet:
+        print(f"trace written to {args.trace_out}")
+    if args.json:
+        atomic_write_text(
+            args.json,
+            json.dumps(
+                {"mode": "resume", "scheduler": result.scheduler,
+                 "load": result.load, "row": result.row()},
+                indent=2,
+                allow_nan=True,
+            ),
+        )
+    return 0
+
+
 def _single_run(args: argparse.Namespace) -> int:
     if args.scheduler in SPECIAL_SWITCH_NAMES:
         print(f"lcf-faults: {args.scheduler!r} uses a dedicated switch model "
@@ -216,25 +276,37 @@ def _single_run(args: argparse.Namespace) -> int:
         JsonlTracer(args.trace_out) if args.trace_out else RingTracer(1 << 20)
     )
     metrics = MetricsRegistry()
-    with tracer:
-        result = run_simulation(
-            config,
-            args.scheduler,
-            args.load,
-            traffic=args.traffic,
-            tracer=tracer,
-            metrics=metrics,
-            faults=plan,
-            fast=args.fast,
-        )
+    from repro.checkpoint import CheckpointError
+
+    try:
+        with tracer:
+            result = run_simulation(
+                config,
+                args.scheduler,
+                args.load,
+                traffic=args.traffic,
+                tracer=tracer,
+                metrics=metrics,
+                faults=plan,
+                fast=args.fast,
+                admission=_parse_admission(args.admission),
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                stop_at_slot=args.stop_at,
+            )
+    except CheckpointError as exc:
+        print(f"lcf-faults: {exc}", file=sys.stderr)
+        return 2
     if not args.quiet:
         print(f"fault plan: {plan.describe()}")
+        if args.checkpoint:
+            print(f"checkpoint at {args.checkpoint}")
         print(
             f"{args.scheduler} load={args.load:g}: "
             f"throughput {result.throughput:.3f}, "
             f"mean latency {result.mean_latency:.2f}, "
             f"offered {result.offered}, forwarded {result.forwarded}, "
-            f"dropped {result.dropped}"
+            f"dropped {result.dropped}, shed {result.shed}"
         )
         if "fault_events" in metrics:
             print(
@@ -340,6 +412,24 @@ def main(argv: list[str] | None = None) -> int:
         print("lcf-faults: choose one of --loss-grid / --availability-grid",
               file=sys.stderr)
         return 2
+    if (args.checkpoint_every is not None or args.stop_at is not None) and not (
+        args.checkpoint or args.resume
+    ):
+        print("lcf-faults: --checkpoint-every/--stop-at need --checkpoint",
+              file=sys.stderr)
+        return 2
+    if args.admission is not None:
+        try:
+            _parse_admission(args.admission)
+        except ValueError as exc:
+            print(f"lcf-faults: bad --admission: {exc}", file=sys.stderr)
+            return 2
+    if args.resume:
+        if args.checkpoint:
+            print("lcf-faults: --resume and --checkpoint are mutually "
+                  "exclusive", file=sys.stderr)
+            return 2
+        return _resume_run(args)
     if args.loss_grid is not None or args.availability_grid is not None:
         return _sweep(args)
     return _single_run(args)

@@ -65,6 +65,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--snapshot", metavar="PATH", default=None,
                         help="dump a final OpenMetrics snapshot of the run's "
                         "metrics registry here (.json suffix switches to JSON)")
+    parser.add_argument("--admission", metavar="LOW:HIGH", default=None,
+                        help="attach threshold admission control with these "
+                        "occupancy watermarks (packets, switch-wide)")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="checkpoint the run's complete state here "
+                        "(switches to the plain run_simulation driver; the "
+                        "Hopcroft-Karp probe summary is skipped)")
+    parser.add_argument("--checkpoint-every", metavar="N", type=int, default=None,
+                        help="checkpoint cadence in slots (with --checkpoint)")
+    parser.add_argument("--stop-at", metavar="SLOT", type=int, default=None,
+                        help="pause at this slot after writing a final "
+                        "checkpoint (with --checkpoint); resume later with "
+                        "--resume")
+    parser.add_argument("--resume", metavar="PATH", default=None,
+                        help="resume a checkpointed run instead of starting "
+                        "one; --out captures the remaining slots' events")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the decision summary")
     return parser
@@ -74,8 +90,112 @@ def _rate(num: float, den: float) -> float:
     return num / den if den else float("nan")
 
 
+def _parse_admission(text: str | None):
+    """``LOW:HIGH`` → admission spec dict (None passes through)."""
+    if text is None:
+        return None
+    low, sep, high = text.partition(":")
+    if not sep:
+        raise ValueError(f"expected LOW:HIGH, got {text!r}")
+    return {"low": int(low), "high": int(high)}
+
+
+def _result_summary(result) -> str:
+    """Short statistics block for checkpoint/resume runs."""
+    lines = [
+        "",
+        f"== lcf-trace: {result.scheduler} n={result.config.n_ports} "
+        f"load={result.load} seed={result.config.seed} ==",
+        f"offered {result.offered}  forwarded {result.forwarded}  "
+        f"dropped {result.dropped}  shed {result.shed}",
+        f"mean latency {result.mean_latency:.3f} slots  "
+        f"throughput {result.throughput:.4f}",
+    ]
+    return "\n".join(lines)
+
+
+def _run_checkpointed(args) -> int:
+    """--checkpoint / --resume flows: the run_simulation driver."""
+    from repro.checkpoint import CheckpointError, resume_simulation
+    from repro.sim.simulator import run_simulation
+
+    tracer = JsonlTracer(args.out) if args.out else None
+    metrics = MetricsRegistry()
+    try:
+        if args.resume:
+            result = resume_simulation(args.resume, tracer=tracer, metrics=metrics)
+        else:
+            config = SimConfig(
+                n_ports=args.ports,
+                warmup_slots=args.warmup,
+                measure_slots=args.slots,
+                iterations=args.iterations,
+                seed=args.seed,
+            )
+            result = run_simulation(
+                config,
+                args.scheduler,
+                args.load,
+                traffic=args.traffic,
+                tracer=tracer,
+                metrics=metrics,
+                fast=args.fast,
+                admission=_parse_admission(args.admission),
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                stop_at_slot=args.stop_at,
+            )
+    except CheckpointError as exc:
+        print(f"lcf-trace: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.out and not args.quiet:
+        print(f"wrote {args.out} ({tracer.emitted} events)")
+    if args.chrome:
+        events = events_from_jsonl(args.out) if args.out else []
+        spans = write_chrome_trace(events, args.chrome)
+        if not args.quiet:
+            print(f"wrote {args.chrome} ({spans} trace events)")
+    if args.snapshot:
+        from repro.ioutil import atomic_write_text
+        from repro.obs.serve import render_json, render_openmetrics
+
+        render = (
+            render_json if args.snapshot.endswith(".json") else render_openmetrics
+        )
+        atomic_write_text(args.snapshot, render(metrics))
+        if not args.quiet:
+            print(f"wrote {args.snapshot} ({len(metrics)} metrics)")
+    if args.checkpoint and not args.quiet:
+        print(f"checkpoint at {args.checkpoint}")
+    if not args.quiet:
+        print(_result_summary(result))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if (args.checkpoint_every is not None or args.stop_at is not None) and not (
+        args.checkpoint or args.resume
+    ):
+        print("lcf-trace: --checkpoint-every/--stop-at need --checkpoint",
+              file=sys.stderr)
+        return 2
+    if args.resume and args.checkpoint:
+        print("lcf-trace: --resume and --checkpoint are mutually exclusive "
+              "(a resumed run keeps checkpointing to its own file)",
+              file=sys.stderr)
+        return 2
+    if args.admission is not None:
+        try:
+            _parse_admission(args.admission)
+        except ValueError as exc:
+            print(f"lcf-trace: bad --admission: {exc}", file=sys.stderr)
+            return 2
+    if args.resume:
+        return _run_checkpointed(args)
     if args.scheduler in SPECIAL_SWITCH_NAMES:
         print(f"lcf-trace: {args.scheduler!r} uses a dedicated switch model "
               "with no VOQ pipeline to trace", file=sys.stderr)
@@ -83,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.load <= 0.0 or args.load > 1.0:
         print(f"lcf-trace: load {args.load} outside (0, 1]", file=sys.stderr)
         return 2
+    if args.checkpoint:
+        return _run_checkpointed(args)
 
     config = SimConfig(
         n_ports=args.ports,
@@ -101,8 +223,11 @@ def main(argv: list[str] | None = None) -> int:
 
     tracer = JsonlTracer(args.out) if args.out else RingTracer(capacity=1 << 20)
     metrics = MetricsRegistry()
+    from repro.sim.admission import make_admission
+
     switch = InputQueuedSwitch(
-        config, probe or scheduler, tracer=tracer, metrics=metrics
+        config, probe or scheduler, tracer=tracer, metrics=metrics,
+        admission=make_admission(_parse_admission(args.admission)),
     )
     pattern = make_traffic(args.traffic, args.ports, args.load, seed=args.seed)
 

@@ -16,6 +16,12 @@ Event vocabulary (the Figure 11 slot pipeline plus scheduler decisions):
     ``drop``).
 ``drop``
     An arrival found its packet queue full and was discarded.
+``admission_drop``
+    An arrival was shed by the :class:`repro.sim.admission.
+    AdmissionController` before reaching its packet queue: total switch
+    occupancy had crossed the high watermark and had not yet drained
+    back below the low one. Shed packets never appear as ``arrival`` or
+    ``drop`` events.
 ``enqueue``
     The PQ head crossed the input link into its virtual output queue.
 ``requests``
@@ -68,6 +74,7 @@ from __future__ import annotations
 
 ARRIVAL = "arrival"
 DROP = "drop"
+ADMISSION_DROP = "admission_drop"
 ENQUEUE = "enqueue"
 REQUESTS = "requests"
 SCHED_STEP = "sched_step"
@@ -90,6 +97,7 @@ ADAPT_SCOPES = ("link", "input", "output")
 EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     ARRIVAL: {"input": (int,), "output": (int,)},
     DROP: {"input": (int,), "output": (int,)},
+    ADMISSION_DROP: {"input": (int,), "output": (int,)},
     ENQUEUE: {"input": (int,), "output": (int,)},
     REQUESTS: {"nrq": (list,), "total": (int,)},
     SCHED_STEP: {
@@ -131,6 +139,10 @@ def arrival(slot: int, input: int, output: int) -> dict:
 
 def drop(slot: int, input: int, output: int) -> dict:
     return {"slot": slot, "type": DROP, "input": input, "output": output}
+
+
+def admission_drop(slot: int, input: int, output: int) -> dict:
+    return {"slot": slot, "type": ADMISSION_DROP, "input": input, "output": output}
 
 
 def enqueue(slot: int, input: int, output: int) -> dict:

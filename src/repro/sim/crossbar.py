@@ -69,6 +69,7 @@ class InputQueuedSwitch:
         adapter=None,
         output_gate=None,
         forward_sink=None,
+        admission=None,
     ):
         if scheduler.n != config.n_ports:
             raise ValueError(
@@ -147,6 +148,12 @@ class InputQueuedSwitch:
         self.adapter = adapter
         if adapter is not None:
             adapter.bind(n, tracer=self.tracer, metrics=metrics)
+        #: Ingress load shedder (:mod:`repro.sim.admission`): when
+        #: attached, arrivals are discarded while total occupancy sits
+        #: above its hysteresis band — before they can enter a PQ.
+        self.admission = admission
+        if admission is not None:
+            admission.bind(tracer=self.tracer, metrics=metrics)
         #: Fault accounting (kept even without a MetricsRegistry so the
         #: resilience harness can read degradation off the switch).
         self.fault_events = 0
@@ -173,6 +180,7 @@ class InputQueuedSwitch:
             and adapter is None
             and output_gate is None
             and forward_sink is None
+            and admission is None
             and getattr(scheduler, "weight_kind", None) is None
             and callable(getattr(type(scheduler), kernel_entry, None))
         )
@@ -221,12 +229,21 @@ class InputQueuedSwitch:
 
         # 1. Generation into PQs. Hosts keep sending while their ingress
         #    is down — the backlog builds in the PQ, which is exactly the
-        #    queue buildup the recovery-time metric measures.
+        #    queue buildup the recovery-time metric measures. Admission
+        #    control evaluates once per slot, before generation, and a
+        #    shedding switch discards arrivals here — upstream of the
+        #    PQs, so no queue state is consumed by a shed packet.
+        admission = self.admission
+        if admission is not None:
+            admission.update(self.total_queued())
         for i in range(self.n):
             dst = arrivals[i]
             if dst != NO_ARRIVAL:
                 if self.measuring:
                     self.offered += 1
+                if admission is not None and admission.shedding:
+                    admission.shed(slot, i, int(dst))
+                    continue
                 accepted = self.pqs[i].push(int(dst), slot)
                 if observing:
                     self._record_arrival(slot, i, int(dst), accepted)

@@ -20,6 +20,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
+from repro.sim.admission import make_admission
 from repro.sim.config import SimConfig
 from repro.sim.crossbar import InputQueuedSwitch
 from repro.sim.fifo_switch import FIFOSwitch
@@ -52,6 +53,8 @@ class SimResult:
     percentiles: dict[float, float] = field(default_factory=dict)
     #: Per-pair grant counts when collected (None otherwise).
     service_counts: np.ndarray | None = None
+    #: Arrivals discarded by admission control (0 when none attached).
+    shed: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -81,6 +84,7 @@ class SimResult:
             "offered": self.offered,
             "forwarded": self.forwarded,
             "dropped": self.dropped,
+            "shed": self.shed,
             "loss_rate": self.loss_rate,
         }
         for percentile in sorted(self.percentiles):
@@ -99,6 +103,7 @@ def build_switch(
     injector: FaultInjector | None = None,
     adapter=None,
     fast: bool = False,
+    admission=None,
 ):
     """Instantiate the switch model matching a registry scheduler name.
 
@@ -135,6 +140,11 @@ def build_switch(
                 f"adaptive scheduling is not supported by the dedicated "
                 f"{scheduler_name!r} switch model"
             )
+        if admission is not None:
+            raise ValueError(
+                f"admission control is not supported by the dedicated "
+                f"{scheduler_name!r} switch model"
+            )
         if scheduler_name == "outbuf":
             return OutputBufferedSwitch(config, collect_latencies=collect_latencies)
         return FIFOSwitch(config, collect_latencies=collect_latencies)
@@ -166,7 +176,157 @@ def build_switch(
         metrics=metrics,
         injector=injector,
         adapter=adapter,
+        admission=admission,
     )
+
+
+def _drive(
+    config: SimConfig,
+    switch,
+    pattern: TrafficPattern,
+    exporter,
+    start_slot: int = 0,
+    stop_slot: int | None = None,
+    checkpoint_hook=None,
+    checkpoint_every: int | None = None,
+) -> int:
+    """Run slots ``start_slot .. stop_slot-1`` through the switch.
+
+    Slots are driven in blocks (split at the warmup boundary so the
+    measuring flag is constant within a block): the crossbar's
+    ``run_slots`` amortises per-slot Python dispatch the same way
+    batched traffic generators amortise arrivals. The arrival vectors
+    are still drawn one slot at a time, so the pattern's sample path —
+    and therefore every statistic — is identical to per-slot stepping.
+
+    Blocks are additionally capped at ``checkpoint_every`` multiples so
+    ``checkpoint_hook(slot)`` always observes a clean slot boundary:
+    slots ``0..slot-1`` fully executed, nothing in flight. The hook
+    also fires when the drive pauses early at ``stop_slot``; it never
+    fires at ``total_slots`` (a finished run has nothing to resume).
+
+    Returns the next slot to execute (== ``stop_slot``).
+    """
+    run_block = getattr(switch, "run_slots", None)
+    stop = config.total_slots if stop_slot is None else stop_slot
+    slot = start_slot
+    while slot < stop:
+        if slot == config.warmup_slots:
+            switch.measuring = True
+        end = min(slot + _SLOT_BLOCK, stop)
+        if slot < config.warmup_slots < end:
+            end = config.warmup_slots
+        if checkpoint_every is not None:
+            boundary = (slot // checkpoint_every + 1) * checkpoint_every
+            if slot < boundary < end:
+                end = boundary
+        block = [pattern.arrivals() for _ in range(end - slot)]
+        if run_block is not None:
+            run_block(slot, block)
+        else:
+            # Dedicated switch models (fifo/outbuf) step one slot at a time.
+            for offset, arrivals in enumerate(block):
+                switch.step(slot + offset, arrivals)
+        slot = end
+        if exporter is not None:
+            exporter.tick(slot - 1)
+        if checkpoint_hook is not None and slot < config.total_slots:
+            at_cadence = checkpoint_every is not None and slot % checkpoint_every == 0
+            if at_cadence or slot == stop:
+                checkpoint_hook(slot)
+    return slot
+
+
+def _package_result(
+    config: SimConfig,
+    scheduler_name: str,
+    load: float,
+    switch,
+    collect_percentiles: bool,
+) -> SimResult:
+    """Package a driven switch's statistics into a :class:`SimResult`."""
+    stats = switch.latency
+    percentiles = (
+        latency_percentiles(np.asarray(switch.latency_samples))
+        if collect_percentiles
+        else {}
+    )
+    service = getattr(switch, "service", None)
+    admission = getattr(switch, "admission", None)
+    # A warmup-only run (measure_slots=0) measures nothing: throughput
+    # is undefined, not a division error.
+    port_slots = config.n_ports * config.measure_slots
+    return SimResult(
+        scheduler=scheduler_name,
+        load=load,
+        config=config,
+        mean_latency=stats.mean,
+        std_latency=stats.std,
+        min_latency=stats.min if stats.count else math.nan,
+        max_latency=stats.max if stats.count else math.nan,
+        offered=switch.offered,
+        forwarded=switch.forwarded,
+        dropped=switch.dropped,
+        throughput=switch.forwarded / port_slots if port_slots else math.nan,
+        percentiles=percentiles,
+        service_counts=service.counts.copy() if service is not None else None,
+        shed=admission.shed_packets if admission is not None else 0,
+    )
+
+
+def _drive_and_package(
+    *,
+    config: SimConfig,
+    scheduler_name: str,
+    load: float,
+    switch,
+    pattern: TrafficPattern,
+    exporter,
+    metrics,
+    collect_percentiles: bool,
+    start_slot: int,
+    run_spec: dict | None,
+    checkpoint_path,
+    checkpoint_every: int | None,
+    stop_at_slot: int | None,
+) -> SimResult:
+    """Shared back half of :func:`run_simulation` and checkpoint resume.
+
+    Drives the remaining slots (checkpointing along the way when
+    enabled), writes the final exporter snapshot only if the run
+    actually completed, and packages the statistics. A run paused at
+    ``stop_at_slot`` returns its statistics *so far* — the checkpoint
+    file, not the partial result, is the authoritative continuation.
+    """
+    stop = (
+        config.total_slots
+        if stop_at_slot is None
+        else min(int(stop_at_slot), config.total_slots)
+    )
+    hook = None
+    if checkpoint_path is not None:
+        from repro.checkpoint.core import capture_payload
+        from repro.checkpoint.format import save_checkpoint
+
+        def hook(slot: int) -> None:
+            save_checkpoint(
+                checkpoint_path,
+                capture_payload(run_spec, slot, pattern, switch, metrics, exporter),
+            )
+
+    slot = _drive(
+        config,
+        switch,
+        pattern,
+        exporter,
+        start_slot=start_slot,
+        stop_slot=stop,
+        checkpoint_hook=hook,
+        checkpoint_every=checkpoint_every,
+    )
+    if exporter is not None and slot >= config.total_slots and config.total_slots:
+        exporter.write(config.total_slots - 1)
+    return _package_result(config, scheduler_name, load, switch, collect_percentiles)
 
 
 def run_simulation(
@@ -183,6 +343,10 @@ def run_simulation(
     adapter=None,
     fast: bool = False,
     exporter=None,
+    admission=None,
+    checkpoint_path=None,
+    checkpoint_every: int | None = None,
+    stop_at_slot: int | None = None,
 ) -> SimResult:
     """Simulate one (scheduler, load) point of the Figure 12 grid.
 
@@ -223,8 +387,40 @@ def run_simulation(
     exporter=SnapshotExporter(MetricsRegistry(), path))`` is all a soak
     run needs. A disabled exporter resolves to ``None`` here — same
     zero-overhead contract as ``effective_tracer``.
+
+    ``admission`` attaches threshold load shedding
+    (:mod:`repro.sim.admission`): an
+    :class:`~repro.sim.admission.AdmissionController`, a ``(low,
+    high)`` watermark pair, or its dict wire form. Crossbar schedulers
+    only, like faults and adapters.
+
+    ``checkpoint_path`` enables checkpoint/restore
+    (:mod:`repro.checkpoint`): the run's complete state is saved there
+    atomically every ``checkpoint_every`` slots, and — when
+    ``stop_at_slot`` is set — once more when the run pauses at that
+    slot. A paused run returns its statistics so far;
+    :func:`repro.checkpoint.resume_simulation` continues it
+    bit-identically. Checkpointing requires a registry ``traffic``
+    name (an already-built pattern instance cannot be rebuilt from the
+    file).
     """
     from repro.obs.serve import effective_exporter
+
+    if checkpoint_path is None and (
+        checkpoint_every is not None or stop_at_slot is not None
+    ):
+        raise ValueError(
+            "checkpoint_every/stop_at_slot need a checkpoint_path to save to"
+        )
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if stop_at_slot is not None and stop_at_slot < 0:
+        raise ValueError(f"stop_at_slot must be >= 0, got {stop_at_slot}")
+    if checkpoint_path is not None and isinstance(traffic, TrafficPattern):
+        raise ValueError(
+            "checkpointing requires a registry traffic name; a pattern "
+            "instance cannot be rebuilt from the checkpoint file"
+        )
 
     exporter = effective_exporter(exporter)
     if exporter is not None and metrics is None:
@@ -237,6 +433,7 @@ def run_simulation(
             traffic, config.n_ports, load, seed=config.seed, **(traffic_kwargs or {})
         )
 
+    plan = None
     injector = None
     if faults is not None:
         plan = faults if isinstance(faults, FaultPlan) else FaultPlan.from_spec(faults)
@@ -250,6 +447,8 @@ def run_simulation(
         if adapter is not None:
             adapter.reset()
 
+    admission = make_admission(admission)
+
     switch = build_switch(
         config,
         scheduler_name,
@@ -261,57 +460,41 @@ def run_simulation(
         injector=injector,
         adapter=adapter,
         fast=fast,
+        admission=admission,
     )
 
-    # Slots are driven in blocks (split at the warmup boundary so the
-    # measuring flag is constant within a block): the crossbar's
-    # ``run_slots`` amortises per-slot Python dispatch the same way
-    # batched traffic generators amortise arrivals. The arrival vectors
-    # are still drawn one slot at a time, so the pattern's sample path —
-    # and therefore every statistic — is identical to per-slot stepping.
-    run_block = getattr(switch, "run_slots", None)
-    slot = 0
-    while slot < config.total_slots:
-        if slot == config.warmup_slots:
-            switch.measuring = True
-        end = min(slot + _SLOT_BLOCK, config.total_slots)
-        if slot < config.warmup_slots < end:
-            end = config.warmup_slots
-        block = [pattern.arrivals() for _ in range(end - slot)]
-        if run_block is not None:
-            run_block(slot, block)
-        else:
-            # Dedicated switch models (fifo/outbuf) step one slot at a time.
-            for offset, arrivals in enumerate(block):
-                switch.step(slot + offset, arrivals)
-        slot = end
-        if exporter is not None:
-            exporter.tick(slot - 1)
-    if exporter is not None and config.total_slots:
-        exporter.write(config.total_slots - 1)
+    run_spec = None
+    if checkpoint_path is not None:
+        from repro.checkpoint.core import make_run_spec
 
-    stats = switch.latency
-    percentiles = (
-        latency_percentiles(np.asarray(switch.latency_samples))
-        if collect_percentiles
-        else {}
-    )
-    service = getattr(switch, "service", None)
-    # A warmup-only run (measure_slots=0) measures nothing: throughput
-    # is undefined, not a division error.
-    port_slots = config.n_ports * config.measure_slots
-    return SimResult(
-        scheduler=scheduler_name,
-        load=load,
+        run_spec = make_run_spec(
+            config=config,
+            scheduler=scheduler_name,
+            load=load,
+            traffic=traffic,
+            traffic_kwargs=traffic_kwargs,
+            collect_service=collect_service,
+            collect_percentiles=collect_percentiles,
+            fast=fast,
+            plan=plan if injector is not None else None,
+            adapter=adapter,
+            admission=admission,
+            has_metrics=metrics is not None,
+            checkpoint_every=checkpoint_every,
+        )
+
+    return _drive_and_package(
         config=config,
-        mean_latency=stats.mean,
-        std_latency=stats.std,
-        min_latency=stats.min if stats.count else math.nan,
-        max_latency=stats.max if stats.count else math.nan,
-        offered=switch.offered,
-        forwarded=switch.forwarded,
-        dropped=switch.dropped,
-        throughput=switch.forwarded / port_slots if port_slots else math.nan,
-        percentiles=percentiles,
-        service_counts=service.counts.copy() if service is not None else None,
+        scheduler_name=scheduler_name,
+        load=load,
+        switch=switch,
+        pattern=pattern,
+        exporter=exporter,
+        metrics=metrics,
+        collect_percentiles=collect_percentiles,
+        start_slot=0,
+        run_spec=run_spec,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        stop_at_slot=stop_at_slot,
     )

@@ -86,6 +86,7 @@ def result_to_payload(result: SimResult) -> dict:
         "service_counts": (
             result.service_counts.tolist() if result.service_counts is not None else None
         ),
+        "shed": result.shed,
     }
 
 
@@ -106,6 +107,9 @@ def payload_to_result(payload: dict) -> SimResult:
         throughput=payload["throughput"],
         percentiles={float(p): float(v) for p, v in payload.get("percentiles", [])},
         service_counts=np.asarray(service, dtype=np.int64) if service is not None else None,
+        # Entries written before admission control existed lack the
+        # field; 0 (nothing shed) is exactly what those runs did.
+        shed=payload.get("shed", 0),
     )
 
 

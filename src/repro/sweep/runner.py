@@ -54,38 +54,49 @@ def _profile_path(profile_dir: str, index: int, point: SweepPoint) -> Path:
 
 
 def _run_point(
-    args: tuple[int, SimConfig, SweepPoint, str | None, bool]
+    args: tuple[int, SimConfig, SweepPoint, str | None, bool, str | None, int | None]
 ) -> tuple[int, SimResult, float, int]:
     """Worker entry point (module level so it pickles for Pool)."""
-    index, config, point, profile_dir, fast = args
+    index, config, point, profile_dir, fast, ckpt_path, ckpt_every = args
     start = time.perf_counter()
     faults = dict(point.fault_kwargs) or None
     adapter = dict(point.adapt_kwargs) or None
+
+    def simulate() -> SimResult:
+        # A pre-empted in-flight point left a checkpoint next to its
+        # cache slot: resume it instead of recomputing the completed
+        # slots. Anything unresumable (truncated by the kill, written
+        # by an older format version) is recomputed from scratch —
+        # bit-identical either way, so the fallback is safe.
+        if ckpt_path is not None and os.path.exists(ckpt_path):
+            from repro.checkpoint import CheckpointError, resume_simulation
+
+            try:
+                return resume_simulation(ckpt_path)
+            except CheckpointError:
+                pass
+        return run_simulation(
+            config,
+            point.scheduler,
+            point.load,
+            traffic=point.traffic,
+            traffic_kwargs=dict(point.traffic_kwargs),
+            faults=faults,
+            adapter=adapter,
+            fast=fast,
+            checkpoint_path=ckpt_path,
+            checkpoint_every=ckpt_every,
+        )
+
     if profile_dir is not None:
         profiler = cProfile.Profile()
-        result = profiler.runcall(
-            run_simulation,
-            config,
-            point.scheduler,
-            point.load,
-            traffic=point.traffic,
-            traffic_kwargs=dict(point.traffic_kwargs),
-            faults=faults,
-            adapter=adapter,
-            fast=fast,
-        )
+        result = profiler.runcall(simulate)
         profiler.dump_stats(_profile_path(profile_dir, index, point))
     else:
-        result = run_simulation(
-            config,
-            point.scheduler,
-            point.load,
-            traffic=point.traffic,
-            traffic_kwargs=dict(point.traffic_kwargs),
-            faults=faults,
-            adapter=adapter,
-            fast=fast,
-        )
+        result = simulate()
+    if ckpt_path is not None:
+        # The point finished; its cache entry supersedes the checkpoint.
+        Path(ckpt_path).unlink(missing_ok=True)
     return index, result, time.perf_counter() - start, os.getpid()
 
 
@@ -245,6 +256,15 @@ class ParallelRunner:
         Results are bit-identical to the reference layer, which is why
         ``fast`` is *not* part of the cache key — fast and reference
         runs share cache entries freely.
+    ``checkpoint_every``
+        checkpoint every in-flight point's state to ``<cache
+        root>/<point key>.ckpt`` at this slot cadence (requires a
+        cache). A killed sweep then resumes *mid-point*: completed
+        points come back as cache hits, and interrupted points continue
+        from their last checkpoint instead of recomputing — with
+        bit-identical results (the checkpoint file is keyed by the same
+        content hash as the cache entry, so any spec change misses
+        cleanly). The checkpoint is deleted when its point completes.
     """
 
     def __init__(
@@ -254,14 +274,25 @@ class ParallelRunner:
         progress: bool | Callable[[str], None] = False,
         profile_dir: str | Path | None = None,
         fast: bool = False,
+        checkpoint_every: int | None = None,
     ):
         self.workers = workers
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
+        if checkpoint_every is not None:
+            if cache is None:
+                raise ValueError(
+                    "checkpoint_every needs a cache to keep checkpoints in"
+                )
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
         self.cache = cache
         self.progress = progress
         self.profile_dir = str(profile_dir) if profile_dir is not None else None
         self.fast = fast
+        self.checkpoint_every = checkpoint_every
 
     def _emit(self, line: str) -> None:
         if callable(self.progress):
@@ -274,7 +305,7 @@ class ParallelRunner:
         total = len(points)
         outcomes: list[PointOutcome | None] = [None] * total
         keys: list[str | None] = [None] * total
-        pending: list[tuple[int, SimConfig, SweepPoint, str | None, bool]] = []
+        pending: list[tuple] = []
         start = time.perf_counter()
         if self.profile_dir is not None:
             Path(self.profile_dir).mkdir(parents=True, exist_ok=True)
@@ -286,8 +317,19 @@ class ParallelRunner:
                 if hit is not None:
                     outcomes[index] = PointOutcome(point, hit, cached=True, elapsed=0.0)
                     continue
+            ckpt_path = None
+            if self.checkpoint_every is not None and keys[index] is not None:
+                ckpt_path = str(self.cache.root / f"{keys[index]}.ckpt")
             pending.append(
-                (index, spec.point_config(point), point, self.profile_dir, self.fast)
+                (
+                    index,
+                    spec.point_config(point),
+                    point,
+                    self.profile_dir,
+                    self.fast,
+                    ckpt_path,
+                    self.checkpoint_every,
+                )
             )
 
         hits = total - len(pending)

@@ -1,0 +1,136 @@
+"""Interrupted sweeps resume without recomputing completed points.
+
+The :class:`~repro.sweep.runner.ParallelRunner` contract under test:
+with ``checkpoint_every`` set, a killed sweep leaves (a) cache entries
+for completed points and (b) a checkpoint file for the in-flight point
+at ``<cache root>/<point key>.ckpt``. A re-run serves the former from
+cache and *resumes* the latter mid-point — and both paths merge to the
+exact statistics of an uninterrupted, uncached sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint import load_checkpoint, resume_simulation
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_simulation
+from repro.sweep.cache import ResultCache, point_key
+from repro.sweep.runner import ParallelRunner
+from repro.sweep.spec import SweepSpec
+
+
+def _spec(replicates: int = 1) -> SweepSpec:
+    return SweepSpec(
+        schedulers=("lcf_central_rr", "islip"),
+        loads=(0.6, 0.9),
+        config=SimConfig(n_ports=4, warmup_slots=10, measure_slots=110, seed=31),
+        replicates=replicates,
+    )
+
+
+class TestRunnerValidation:
+    def test_checkpoint_every_requires_cache(self):
+        with pytest.raises(ValueError, match="cache"):
+            ParallelRunner(checkpoint_every=25)
+
+    def test_checkpoint_every_positive(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 1"):
+            ParallelRunner(cache=tmp_path, checkpoint_every=0)
+
+
+class TestSweepResume:
+    def test_preempted_point_resumes_mid_flight(self, tmp_path):
+        spec = _spec()
+        baseline = ParallelRunner().run(spec)
+        points = spec.points()
+        cache = ResultCache(tmp_path / "cache")
+        keys = [point_key(spec.config, p) for p in points]
+
+        # Simulate a kill: the first point completed (cache entry
+        # written), the second was pre-empted mid-run (checkpoint file
+        # left behind, no cache entry), the rest never started.
+        done = ParallelRunner(cache=cache).run(
+            SweepSpec(
+                schedulers=(points[0].scheduler,),
+                loads=(points[0].load,),
+                config=spec.config,
+            )
+        )
+        assert done.report.computed == 1
+        preempted = points[1]
+        ckpt = cache.root / f"{keys[1]}.ckpt"
+        run_simulation(
+            spec.point_config(preempted),
+            preempted.scheduler,
+            preempted.load,
+            checkpoint_path=ckpt,
+            stop_at_slot=60,
+        )
+        assert load_checkpoint(ckpt)["slot"] == 60
+
+        rerun = ParallelRunner(cache=cache, checkpoint_every=25).run(spec)
+        # Completed point came from cache, nothing was recomputed twice.
+        assert rerun.report.cache_hits == 1
+        assert rerun.report.computed == len(points) - 1
+        # The checkpoint was consumed and cleaned up.
+        assert not ckpt.exists()
+        # Merged statistics are bit-identical to the uninterrupted run.
+        for key, merged in baseline.merged.items():
+            assert rerun.merged[key].row() == merged.row()
+
+    def test_resumed_point_matches_straight_run(self, tmp_path):
+        # The same guarantee at the single-point level, via the exact
+        # runner fallback path: resume_simulation on the .ckpt file.
+        config = SimConfig(n_ports=4, warmup_slots=10, measure_slots=110, seed=32)
+        straight = run_simulation(config, "lcf_central_rr", 0.9)
+        ckpt = tmp_path / "point.ckpt"
+        run_simulation(
+            config, "lcf_central_rr", 0.9, checkpoint_path=ckpt, stop_at_slot=45
+        )
+        assert resume_simulation(ckpt).row() == straight.row()
+
+    def test_corrupt_checkpoint_falls_back_to_fresh_run(self, tmp_path):
+        spec = _spec()
+        baseline = ParallelRunner().run(spec)
+        cache = ResultCache(tmp_path / "cache")
+        keys = [point_key(spec.config, p) for p in spec.points()]
+        # A kill mid-write can truncate the checkpoint; the runner must
+        # recompute from scratch, not crash or resume garbage.
+        bad = cache.root / f"{keys[0]}.ckpt"
+        bad.write_text('{"format": "repro-checkpoint", "vers')
+        rerun = ParallelRunner(cache=cache, checkpoint_every=25).run(spec)
+        assert rerun.report.computed == len(keys)
+        assert not bad.exists()
+        for key, merged in baseline.merged.items():
+            assert rerun.merged[key].row() == merged.row()
+
+    def test_completed_sweep_leaves_no_checkpoints(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        ParallelRunner(cache=cache, checkpoint_every=25).run(_spec())
+        assert not list(cache.root.glob("*.ckpt"))
+
+    def test_second_run_all_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec()
+        first = ParallelRunner(cache=cache, checkpoint_every=25).run(spec)
+        second = ParallelRunner(cache=cache, checkpoint_every=25).run(spec)
+        assert second.report.cache_hits == second.report.total_points
+        assert second.report.computed == 0
+        for key, merged in first.merged.items():
+            assert second.merged[key].row() == merged.row()
+
+    def test_shed_round_trips_through_cache(self, tmp_path):
+        # SimResult.shed is part of the cached payload; a cache hit
+        # must carry it back unchanged.
+        config = SimConfig(
+            n_ports=4, warmup_slots=0, measure_slots=120,
+            voq_capacity=8, pq_capacity=16, seed=33,
+        )
+        direct = run_simulation(
+            config, "lcf_central_rr", 1.0, admission=(10, 30)
+        )
+        assert direct.shed > 0
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("point", direct)
+        assert cache.get("point").shed == direct.shed

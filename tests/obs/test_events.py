@@ -11,6 +11,7 @@ class TestConstructorsMatchSchema:
         [
             ev.arrival(0, 1, 2),
             ev.drop(3, 0, 0),
+            ev.admission_drop(4, 1, 2),
             ev.enqueue(1, 2, 3),
             ev.requests(5, [1, 0, 2, 3]),
             ev.sched_step(2, 1, 0, 3, True, 2, 3),
@@ -39,6 +40,7 @@ class TestConstructorsMatchSchema:
         built = {
             ev.arrival(0, 0, 0)["type"],
             ev.drop(0, 0, 0)["type"],
+            ev.admission_drop(0, 0, 0)["type"],
             ev.enqueue(0, 0, 0)["type"],
             ev.requests(0, [])["type"],
             ev.sched_step(0, 0, 0, 0, False, 0, 0)["type"],

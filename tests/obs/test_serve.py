@@ -217,3 +217,79 @@ class TestScrapeEndpoint:
         endpoint = ScrapeEndpoint(MetricsRegistry())
         with pytest.raises(RuntimeError):
             endpoint.port
+
+
+class TestScrapeEdgeCases:
+    """HTTP serving under awkward-but-legal conditions."""
+
+    def test_empty_registry_scrapes_cleanly(self):
+        # A scrape before any instrument exists must still be a valid
+        # OpenMetrics document, not a 500 or an empty body.
+        with ScrapeEndpoint(MetricsRegistry()) as endpoint:
+            with urllib.request.urlopen(endpoint.url, timeout=5) as response:
+                assert response.status == 200
+                body = response.read().decode()
+            assert body == "# EOF\n"
+            json_url = endpoint.url.replace("/metrics", "/metrics.json")
+            with urllib.request.urlopen(json_url, timeout=5) as response:
+                payload = json.loads(response.read())
+        assert payload == {"slot": None, "metrics": {}}
+
+    def test_concurrent_scrape_during_exporter_writes(self, tmp_path):
+        # A scraper polling the endpoint while a SnapshotExporter is
+        # rewriting its file (and the registry is being mutated) must
+        # only ever see well-formed documents — on the wire AND on
+        # disk (the atomic_write_text contract).
+        import threading
+
+        registry = populated_registry()
+        exporter = SnapshotExporter(registry, tmp_path / "snap.json", fmt="json")
+        stop = threading.Event()
+
+        def churn() -> None:
+            slot = 0
+            while not stop.is_set():
+                registry.counter("forwarded").inc()
+                exporter.write(slot)
+                slot += 1
+
+        writer = threading.Thread(target=churn, daemon=True)
+        with ScrapeEndpoint(registry) as endpoint:
+            writer.start()
+            try:
+                json_url = endpoint.url.replace("/metrics", "/metrics.json")
+                for _ in range(25):
+                    with urllib.request.urlopen(endpoint.url, timeout=5) as response:
+                        text = response.read().decode()
+                    assert text.endswith("# EOF\n")
+                    with urllib.request.urlopen(json_url, timeout=5) as response:
+                        scraped = json.loads(response.read())
+                    assert scraped["metrics"]["forwarded"]["value"] >= 7
+                    on_disk = json.loads((tmp_path / "snap.json").read_text())
+                    assert on_disk["metrics"]["forwarded"]["kind"] == "counter"
+            finally:
+                stop.set()
+                writer.join(timeout=5)
+        assert exporter.writes > 0
+        assert not list(tmp_path.glob("*.tmp.*")), "no torn temp files"
+
+    def test_scrape_during_simulation_exporter(self, tmp_path):
+        # End to end: a live endpoint scraped while run_simulation
+        # drives the same registry through a SnapshotExporter.
+        from repro.sim.config import SimConfig
+        from repro.sim.simulator import run_simulation
+
+        registry = MetricsRegistry()
+        exporter = SnapshotExporter(registry, tmp_path / "snap.txt", every=64)
+        with ScrapeEndpoint(registry) as endpoint:
+            result = run_simulation(
+                SimConfig(n_ports=4, warmup_slots=10, measure_slots=200, seed=51),
+                "lcf_central_rr",
+                0.8,
+                metrics=registry,
+                exporter=exporter,
+            )
+            body = urllib.request.urlopen(endpoint.url, timeout=5).read().decode()
+        assert result.forwarded > 0
+        assert "# EOF" in body
+        assert exporter.writes > 0

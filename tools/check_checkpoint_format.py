@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Diff a freshly generated checkpoint against the pinned golden file.
+
+The golden checkpoint pins the *on-disk byte format* of
+:mod:`repro.checkpoint`: the envelope fields, the canonical payload
+ordering, the ``__repro__`` state-encoding tags, and the captured
+attribute set of every serialised component. A regenerated checkpoint
+must match byte for byte; any divergence means the checkpoint schema —
+or the state any component carries — changed, and CI fails until the
+change is deliberately re-goldened (bump ``CHECKPOINT_VERSION`` when
+the change breaks old files).
+
+The pinned run deliberately exercises every serialised subsystem at
+once: a faulted, adaptive, admission-controlled ``lcf_central_rr`` run
+(the same base parameters as the golden traces) paused mid-flight by
+``stop_at_slot``, so the file holds live VOQ contents, estimator health
+tables, admission counters, and metrics.
+
+Usage::
+
+    python tools/check_checkpoint_format.py             # diff
+    python tools/check_checkpoint_format.py --update    # re-golden
+
+Exit status 0 on match, 1 on divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DATA = REPO_ROOT / "tests" / "data"
+GOLDEN = DATA / "golden_checkpoint.json"
+
+#: Pinned run parameters — change only when re-goldening.
+SCHEDULER = "lcf_central_rr"
+N_PORTS = 4
+SEED = 7
+LOAD = 0.85
+WARMUP = 20
+MEASURE = 100
+STOP_AT = 60
+CHECKPOINT_EVERY = 30
+FAULT_SPEC = (
+    ("link_down", ((0, 1, 30, 70),)),
+    ("port_down", ((2, 50, 90, "output"),)),
+)
+ADAPT_SPEC = (("policy", "adaptive"),)
+ADMISSION = (50, 100)
+MAX_SHOWN = 10
+
+
+def generate(path: Path) -> None:
+    """Write the pinned run's checkpoint to ``path``."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.config import SimConfig
+    from repro.sim.simulator import run_simulation
+
+    config = SimConfig(
+        n_ports=N_PORTS, warmup_slots=WARMUP, measure_slots=MEASURE, seed=SEED
+    )
+    run_simulation(
+        config,
+        SCHEDULER,
+        LOAD,
+        faults=FAULT_SPEC,
+        adapter=ADAPT_SPEC,
+        admission=ADMISSION,
+        metrics=MetricsRegistry(),
+        checkpoint_path=path,
+        checkpoint_every=CHECKPOINT_EVERY,
+        stop_at_slot=STOP_AT,
+    )
+
+
+def _pretty(text: str) -> list[str]:
+    """Stable pretty-printed lines for a readable diff."""
+    return json.dumps(json.loads(text), indent=1, sort_keys=True).splitlines()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the golden checkpoint from the current code",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    if args.update:
+        DATA.mkdir(parents=True, exist_ok=True)
+        generate(GOLDEN)
+        print(f"re-goldened {GOLDEN.relative_to(REPO_ROOT)}")
+        return 0
+
+    if not GOLDEN.exists():
+        print(f"missing golden {GOLDEN.relative_to(REPO_ROOT)}; "
+              "run with --update to create it", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh_path = Path(tmp) / "fresh_checkpoint.json"
+        generate(fresh_path)
+        fresh = fresh_path.read_text()
+    golden = GOLDEN.read_text()
+    if fresh == golden:
+        print(f"checkpoint format matches {GOLDEN.relative_to(REPO_ROOT)} "
+              f"({len(golden)} bytes)")
+        return 0
+
+    print(f"checkpoint format DIVERGED from {GOLDEN.relative_to(REPO_ROOT)}:",
+          file=sys.stderr)
+    diff = difflib.unified_diff(
+        _pretty(golden), _pretty(fresh),
+        fromfile="golden", tofile="fresh", lineterm="", n=1,
+    )
+    for shown, line in enumerate(diff):
+        if shown >= MAX_SHOWN:
+            print("  ...", file=sys.stderr)
+            break
+        print(f"  {line}", file=sys.stderr)
+    print("re-golden with --update if the change is intentional "
+          "(and bump CHECKPOINT_VERSION if it breaks old files)",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
