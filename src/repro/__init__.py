@@ -78,6 +78,14 @@ from repro.checkpoint import (
     resume_simulation,
     save_checkpoint,
 )
+from repro.columnar import (
+    ColumnarEngine,
+    columnar_schedulers,
+    columnar_supported,
+    has_columnar_kernel,
+    make_columnar_kernel,
+    run_replicates,
+)
 from repro.fastpath import (
     FastISLIP,
     FastLCFCentral,
@@ -169,6 +177,13 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "merge_results",
+    # columnar replicate batching
+    "ColumnarEngine",
+    "run_replicates",
+    "columnar_schedulers",
+    "columnar_supported",
+    "has_columnar_kernel",
+    "make_columnar_kernel",
     # checkpoint/restore
     "CheckpointError",
     "save_checkpoint",

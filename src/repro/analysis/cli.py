@@ -97,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
         "results, several times the slot rate; cache entries are shared "
         "with reference runs)",
     )
+    parser.add_argument(
+        "--columnar", action="store_true",
+        help="batch each (scheduler, load) cell's replicates on the "
+        "repro.columnar engine — one numpy slot loop advances all "
+        "replicates at once (bit-identical results; cache entries are "
+        "shared with per-point runs; uncovered configurations fall "
+        "back to serial execution automatically)",
+    )
     parser.add_argument("--relative", action="store_true",
                         help="report latency relative to outbuf (Figure 12b)")
     parser.add_argument("--plot", action="store_true", help="ASCII plot")
@@ -154,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         cache=args.cache_dir,
         profile_dir=args.profile,
         fast=args.fast,
+        columnar=args.columnar,
     )
 
     if args.csv:

@@ -129,6 +129,7 @@ def run_sweep(
     cache: ResultCache | str | Path | None = None,
     profile_dir: str | Path | None = None,
     fast: bool = False,
+    columnar: bool = False,
 ) -> SweepResult:
     """Execute every point of the sweep grid via the parallel engine.
 
@@ -141,7 +142,10 @@ def run_sweep(
     ``profile_dir`` dumps one cProfile stats file per computed point.
     ``fast`` runs the points on the :mod:`repro.fastpath` bitmask
     kernels — bit-identical results, so fast and reference runs share
-    cache entries.
+    cache entries. ``columnar`` hands each worker a whole replicate
+    block batched on the :mod:`repro.columnar` engine — also
+    bit-identical and cache-compatible (uncovered configurations fall
+    back to serial execution per block).
     """
     run = ParallelRunner(
         workers=processes,
@@ -149,6 +153,7 @@ def run_sweep(
         progress=progress,
         profile_dir=profile_dir,
         fast=fast,
+        columnar=columnar,
     ).run(spec)
     return SweepResult(spec, dict(run.merged), report=run.report)
 

@@ -1,0 +1,254 @@
+"""`run_replicates`: the multi-replicate entry point.
+
+One call simulates R replicates (same scheduler/load/config, different
+seeds) and returns one :class:`~repro.sim.simulator.SimResult` per
+seed, in seed order. Three execution strategies, all bit-identical per
+replicate:
+
+1. **Columnar** (default when eligible): the
+   :class:`~repro.columnar.engine.ColumnarEngine` advances all R
+   replicates per slot with batched numpy kernels — the fast path for
+   covered schedulers (see
+   :func:`~repro.columnar.kernels.columnar_schedulers`) on plain
+   registry traffic with no instrumentation attached.
+2. **Serial with switch reuse**: one
+   :class:`~repro.sim.InputQueuedSwitch` is built for the cell and
+   :meth:`~repro.sim.InputQueuedSwitch.reset_run` re-arms it per
+   replicate (fresh scheduler + traffic seed) — rebuilding the ``n^2``
+   VOQ structures per replicate showed up in sweep ``--profile`` dumps.
+3. **Plain serial**: one :func:`~repro.sim.run_simulation` per seed,
+   for everything the other two cannot express (dedicated switch
+   models, faults, adapters, admission control, tracing).
+
+Eligibility is decided here (:func:`columnar_supported`), so callers
+can pass ``columnar=True`` unconditionally — uncovered configurations
+fall back, they never fail. A :class:`ColumnarMemoryError` mid-run
+(queue growth beyond the memory ceiling) also falls back, rerunning the
+whole block serially from scratch — safe because both paths produce
+identical results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.baselines.registry import make_scheduler
+from repro.columnar.engine import (
+    DEFAULT_MAX_BYTES,
+    ColumnarEngine,
+    ColumnarMemoryError,
+)
+from repro.columnar.kernels import has_columnar_kernel
+from repro.fastpath.registry import make_fast_scheduler
+from repro.faults.plan import FaultPlan
+from repro.sim.config import SimConfig
+from repro.sim.crossbar import InputQueuedSwitch
+from repro.sim.simulator import SimResult, _drive, _package_result, run_simulation
+from repro.traffic.base import make_traffic
+
+
+def _null_faults(faults) -> bool:
+    """Whether ``faults`` resolves to no injector at all (None or a null
+    plan) — the serial driver treats both identically."""
+    if faults is None:
+        return True
+    plan = faults if isinstance(faults, FaultPlan) else FaultPlan.from_spec(faults)
+    return plan.is_null
+
+
+def columnar_supported(
+    scheduler_name: str,
+    *,
+    traffic: object = "bernoulli",
+    faults=None,
+    adapter=None,
+    admission=None,
+    tracer_factory=None,
+) -> tuple[bool, str]:
+    """Whether a replicate block can run on the columnar engine.
+
+    Returns ``(supported, reason)`` — ``reason`` names the first
+    blocking feature when unsupported (useful in logs and tests).
+    """
+    if not has_columnar_kernel(scheduler_name):
+        return False, f"no columnar kernel for scheduler {scheduler_name!r}"
+    if not isinstance(traffic, str):
+        return False, "traffic must be a registry name, not a pattern instance"
+    if not _null_faults(faults):
+        return False, "fault injection runs per replicate"
+    if adapter is not None:
+        return False, "adaptive scheduling runs per replicate"
+    if admission is not None:
+        return False, "admission control runs per replicate"
+    if tracer_factory is not None:
+        return False, "tracing runs per replicate"
+    return True, ""
+
+
+def _run_serial(
+    config: SimConfig,
+    scheduler_name: str,
+    load: float,
+    seeds: list[int],
+    *,
+    traffic,
+    traffic_kwargs,
+    collect_service: bool,
+    collect_percentiles: bool,
+    faults,
+    adapter,
+    admission,
+    tracer_factory,
+    fast: bool,
+) -> list[SimResult]:
+    reuse = (
+        isinstance(traffic, str)
+        and scheduler_name not in ("fifo", "outbuf")
+        and _null_faults(faults)
+        and adapter is None
+        and admission is None
+        and tracer_factory is None
+    )
+    if not reuse:
+        return [
+            run_simulation(
+                config.with_(seed=seed),
+                scheduler_name,
+                load,
+                traffic=traffic,
+                traffic_kwargs=traffic_kwargs,
+                collect_service=collect_service,
+                collect_percentiles=collect_percentiles,
+                tracer=tracer_factory(index) if tracer_factory is not None else None,
+                faults=faults,
+                adapter=adapter,
+                admission=admission,
+                fast=fast,
+            )
+            for index, seed in enumerate(seeds)
+        ]
+
+    # Build the switch once for the cell; per replicate only the
+    # scheduler and traffic seeds change (satellite of the columnar
+    # work: the n^2 VOQ structures dominate build time).
+    maker = make_fast_scheduler if fast else make_scheduler
+    switch: InputQueuedSwitch | None = None
+    results = []
+    for seed in seeds:
+        cfg = config.with_(seed=seed)
+        pattern = make_traffic(
+            traffic, cfg.n_ports, load, seed=seed, **(traffic_kwargs or {})
+        )
+        scheduler = maker(
+            scheduler_name, cfg.n_ports, iterations=cfg.iterations, seed=seed
+        )
+        if switch is None:
+            switch = InputQueuedSwitch(
+                cfg,
+                scheduler,
+                collect_service=collect_service,
+                collect_latencies=collect_percentiles,
+            )
+        else:
+            switch.reset_run(scheduler)
+        _drive(cfg, switch, pattern, None)
+        results.append(
+            _package_result(cfg, scheduler_name, load, switch, collect_percentiles)
+        )
+    return results
+
+
+def run_replicates(
+    config: SimConfig,
+    scheduler_name: str,
+    load: float,
+    replicates: int | None = None,
+    *,
+    seeds: Sequence[int] | None = None,
+    traffic: str = "bernoulli",
+    traffic_kwargs: dict | None = None,
+    collect_service: bool = False,
+    collect_percentiles: bool = False,
+    faults=None,
+    adapter=None,
+    admission=None,
+    tracer_factory: Callable[[int], object] | None = None,
+    fast: bool = True,
+    columnar: bool = True,
+    max_bytes: int = DEFAULT_MAX_BYTES,
+) -> list[SimResult]:
+    """Simulate R replicates of one (scheduler, load) cell.
+
+    Replicate ``r`` is bit-identical to
+    ``run_simulation(config.with_(seed=seeds[r]), scheduler_name, load,
+    ...)`` — the execution strategy (columnar, switch-reuse serial, or
+    plain serial) is an implementation detail, never part of the
+    experiment definition (sweep cache keys ignore it, exactly like
+    ``fast``).
+
+    ``seeds`` defaults to ``config.seed + r`` for ``r in
+    range(replicates)`` — the sweep engine's replicate seeding. Pass
+    explicit seeds to run a subset (e.g. the cache misses of a cell).
+
+    ``tracer_factory`` (replicate index -> tracer) attaches a tracer
+    per replicate; like faults/adapters/admission it forces the serial
+    path, where traces are the serial traces by construction.
+    """
+    if seeds is None:
+        if replicates is None:
+            raise ValueError("pass replicates or explicit seeds")
+        if replicates < 1:
+            raise ValueError(f"need at least one replicate, got {replicates}")
+        seed_list = [config.seed + r for r in range(replicates)]
+    else:
+        seed_list = [int(s) for s in seeds]
+        if not seed_list:
+            raise ValueError("seeds must be non-empty")
+        if replicates is not None and replicates != len(seed_list):
+            raise ValueError(
+                f"replicates={replicates} disagrees with {len(seed_list)} seeds"
+            )
+
+    if columnar:
+        supported, _ = columnar_supported(
+            scheduler_name,
+            traffic=traffic,
+            faults=faults,
+            adapter=adapter,
+            admission=admission,
+            tracer_factory=tracer_factory,
+        )
+        if supported:
+            try:
+                return ColumnarEngine(
+                    config,
+                    scheduler_name,
+                    load,
+                    seed_list,
+                    traffic=traffic,
+                    traffic_kwargs=traffic_kwargs,
+                    collect_service=collect_service,
+                    collect_percentiles=collect_percentiles,
+                    max_bytes=max_bytes,
+                ).run()
+            except ColumnarMemoryError:
+                # Buffers outgrew the ceiling (at allocation or during
+                # queue growth); rerun serially from scratch
+                # (bit-identical, just slower).
+                pass
+
+    return _run_serial(
+        config,
+        scheduler_name,
+        load,
+        seed_list,
+        traffic=traffic,
+        traffic_kwargs=traffic_kwargs,
+        collect_service=collect_service,
+        collect_percentiles=collect_percentiles,
+        faults=faults,
+        adapter=adapter,
+        admission=admission,
+        tracer_factory=tracer_factory,
+        fast=fast,
+    )

@@ -39,9 +39,10 @@ from repro.fastpath.registry import fast_schedulers, make_fast_scheduler
 #: Report schema version (bump on incompatible shape changes).
 REPORT_VERSION = 1
 
-#: Switch widths the standard suite measures. 64 and 128 exercise the
-#: multi-word (``n > 64``) kernel layouts and the word-boundary case.
-DEFAULT_SIZES = (4, 16, 32, 64, 128)
+#: Switch widths the standard suite measures. 64 and beyond exercise
+#: the multi-word (``n > 64``) kernel layouts and the word-boundary
+#: case; 256 is the four-word layout the scaling guide extrapolates to.
+DEFAULT_SIZES = (4, 16, 32, 64, 128, 256)
 
 #: Width at and below which cells run the caller's full cycle count;
 #: wider cells scale cycles down inversely (see :func:`scaled_cycles`).
@@ -52,6 +53,14 @@ DEFAULT_DENSITY = 0.5
 
 #: Matrices in the cycled pool (power of two so ``k & 63`` cycles it).
 POOL_SIZE = 64
+
+
+def _platform_fields() -> dict:
+    """Host fields every report carries (shared by the columnar suite)."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
 
 
 def request_pool(
@@ -140,8 +149,7 @@ def run_speed_suite(
         "cycles": cycles,
         "repeats": repeats,
         "warmup_cycles": warmup_cycles,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **_platform_fields(),
         "schedulers": {},
     }
     for name in names:

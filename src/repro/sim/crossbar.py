@@ -171,19 +171,7 @@ class InputQueuedSwitch:
         # wrapper's own filtering. Beyond 64 ports the VOQ masks are
         # word tuples, so the probe requires the multi-word entry point
         # (``schedule_words``) instead.
-        kernel_entry = "schedule_masks" if self.voqs.row_words is None else (
-            "schedule_words"
-        )
-        self._fast_slot = (
-            not self._observing
-            and self.injector is None
-            and adapter is None
-            and output_gate is None
-            and forward_sink is None
-            and admission is None
-            and getattr(scheduler, "weight_kind", None) is None
-            and callable(getattr(type(scheduler), kernel_entry, None))
-        )
+        self._fast_slot = self._probe_fast_slot()
         if injector is not None:
             self._down_in_prev = np.zeros(n, dtype=bool)
             self._down_out_prev = np.zeros(n, dtype=bool)
@@ -199,6 +187,71 @@ class InputQueuedSwitch:
                 self._m_recovery_time = metrics.histogram(
                     "recovery_time", (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
                 )
+
+    def _probe_fast_slot(self) -> bool:
+        """Whether the current scheduler/instrumentation combination can
+        take the branch-free bitmask loop (see the comment in
+        ``__init__``)."""
+        kernel_entry = (
+            "schedule_masks" if self.voqs.row_words is None else "schedule_words"
+        )
+        return (
+            not self._observing
+            and self.injector is None
+            and self.adapter is None
+            and self.output_gate is None
+            and self.forward_sink is None
+            and self.admission is None
+            and getattr(self.scheduler, "weight_kind", None) is None
+            and callable(getattr(type(self.scheduler), kernel_entry, None))
+        )
+
+    def reset_run(self, scheduler: Scheduler | None = None) -> None:
+        """Re-arm the switch for a fresh run without rebuilding it.
+
+        Empties every queue, zeroes the statistics and drop counters,
+        and (optionally) swaps in a new scheduler — after this the
+        switch is indistinguishable from a freshly constructed one with
+        the same configuration and collection flags. The multi-replicate
+        runners use this to amortise the ``n^2`` queue-structure build
+        across the replicates of a sweep cell.
+
+        Only the plain statistics-collecting switch supports reuse:
+        instrumented switches (tracer/metrics/injector/adapter/gate/
+        sink/admission) hold run-scoped external state this method
+        cannot safely rewind, so it refuses rather than silently carry
+        state over.
+        """
+        if (
+            self._observing
+            or self.injector is not None
+            or self.adapter is not None
+            or self.output_gate is not None
+            or self.forward_sink is not None
+            or self.admission is not None
+        ):
+            raise ValueError("reset_run requires an uninstrumented switch")
+        if scheduler is not None:
+            if scheduler.n != self.config.n_ports:
+                raise ValueError(
+                    f"scheduler is for n={scheduler.n}, "
+                    f"config has {self.config.n_ports} ports"
+                )
+            self.scheduler = scheduler
+            self._fast_slot = self._probe_fast_slot()
+        else:
+            self.scheduler.reset()
+        for pq in self.pqs:
+            pq.clear()
+        self.voqs.clear()
+        self.latency = OnlineStats()
+        self.offered = 0
+        self.forwarded = 0
+        self.measuring = False
+        if self.service is not None:
+            self.service = ServiceMatrix(self.n)
+        if self.latency_samples is not None:
+            self.latency_samples = []
 
     @property
     def n(self) -> int:

@@ -52,6 +52,12 @@ class PacketQueue:
         """Remove and return the head packet."""
         return self._queue.popleft()
 
+    def clear(self) -> None:
+        """Empty the queue and zero the drop counter — back to the
+        as-constructed state (for run-to-run switch reuse)."""
+        self._queue.clear()
+        self.dropped = 0
+
 
 class VOQSet:
     """The ``n x n`` virtual output queues of one switch.
@@ -122,6 +128,24 @@ class VOQSet:
                 self.row_words[i][j >> 6] &= ~(1 << (j & 63))
                 self.col_words[j][i >> 6] &= ~(1 << (i & 63))
         return t_generated
+
+    def clear(self) -> None:
+        """Empty every VOQ and reset the occupancy counters and request
+        masks — back to the as-constructed state (for run-to-run switch
+        reuse)."""
+        for row in self._queues:
+            for queue in row:
+                queue.clear()
+        self._occupancy[:] = 0
+        # Mutate the mask containers in place: the crossbar's fast loop
+        # holds direct references to them.
+        self.row_masks[:] = [0] * self.n
+        self.col_masks[:] = [0] * self.n
+        if self.row_words is not None:
+            for words in self.row_words:
+                words[:] = [0] * len(words)
+            for words in self.col_words:
+                words[:] = [0] * len(words)
 
     def request_matrix(self) -> np.ndarray:
         """Boolean matrix of non-empty VOQs — what the scheduler sees."""

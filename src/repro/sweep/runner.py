@@ -41,6 +41,7 @@ from multiprocessing import Pool
 from pathlib import Path
 from typing import Callable
 
+from repro.columnar.run import run_replicates
 from repro.sim.config import SimConfig
 from repro.sim.simulator import SimResult, run_simulation
 from repro.sweep.cache import ResultCache, point_key
@@ -98,6 +99,44 @@ def _run_point(
         # The point finished; its cache entry supersedes the checkpoint.
         Path(ckpt_path).unlink(missing_ok=True)
     return index, result, time.perf_counter() - start, os.getpid()
+
+
+def _run_block(
+    args: tuple[list[int], SimConfig, list[SweepPoint], str | None, bool]
+) -> tuple[list[int], list[SimResult], float, int]:
+    """Columnar block worker: all pending replicates of one cell at once.
+
+    ``run_replicates`` picks the execution strategy (columnar engine,
+    switch-reuse serial, or plain serial) per configuration; every
+    strategy is bit-identical per replicate to :func:`_run_point`'s
+    ``run_simulation`` call, so blocks and points share cache entries
+    freely.
+    """
+    indices, config, cell, profile_dir, fast = args
+    start = time.perf_counter()
+    first = cell[0]
+
+    def simulate() -> list[SimResult]:
+        return run_replicates(
+            config,
+            first.scheduler,
+            first.load,
+            seeds=[point.seed for point in cell],
+            traffic=first.traffic,
+            traffic_kwargs=dict(first.traffic_kwargs),
+            faults=dict(first.fault_kwargs) or None,
+            adapter=dict(first.adapt_kwargs) or None,
+            fast=fast,
+            columnar=True,
+        )
+
+    if profile_dir is not None:
+        profiler = cProfile.Profile()
+        results = profiler.runcall(simulate)
+        profiler.dump_stats(_profile_path(profile_dir, indices[0], first))
+    else:
+        results = simulate()
+    return indices, results, time.perf_counter() - start, os.getpid()
 
 
 @dataclass
@@ -265,6 +304,17 @@ class ParallelRunner:
         bit-identical results (the checkpoint file is keyed by the same
         content hash as the cache entry, so any spec change misses
         cleanly). The checkpoint is deleted when its point completes.
+    ``columnar``
+        hand each worker a whole replicate *block* — all pending
+        replicates of one (scheduler, load) cell — executed through
+        :func:`repro.columnar.run.run_replicates`, which batches the
+        block across a numpy replicate axis when the configuration is
+        covered and falls back to serial execution otherwise. Results
+        and cache keys are identical to point-by-point execution (like
+        ``fast``, the strategy is not part of the experiment
+        definition), so cache hits still resolve per point and a block
+        only covers the misses. Incompatible with ``checkpoint_every``
+        (checkpoints are per-point mid-run state).
     """
 
     def __init__(
@@ -275,6 +325,7 @@ class ParallelRunner:
         profile_dir: str | Path | None = None,
         fast: bool = False,
         checkpoint_every: int | None = None,
+        columnar: bool = False,
     ):
         self.workers = workers
         if cache is not None and not isinstance(cache, ResultCache):
@@ -288,11 +339,17 @@ class ParallelRunner:
                 raise ValueError(
                     f"checkpoint_every must be >= 1, got {checkpoint_every}"
                 )
+            if columnar:
+                raise ValueError(
+                    "columnar blocks cannot checkpoint mid-point; "
+                    "drop checkpoint_every or columnar"
+                )
         self.cache = cache
         self.progress = progress
         self.profile_dir = str(profile_dir) if profile_dir is not None else None
         self.fast = fast
         self.checkpoint_every = checkpoint_every
+        self.columnar = columnar
 
     def _emit(self, line: str) -> None:
         if callable(self.progress):
@@ -360,7 +417,43 @@ class ParallelRunner:
                 f"{elapsed:6.2f}s | {rate:5.2f} pts/s, ETA {eta:5.0f}s"
             )
 
-        if pending:
+        if pending and self.columnar:
+            # Regroup the misses into per-cell replicate blocks. Spec
+            # order is scheduler-major then load then replicate, so the
+            # pending replicates of a cell are always consecutive.
+            blocks: list[tuple[list[int], SimConfig, list[SweepPoint], str | None, bool]] = []
+            for args in pending:
+                index, point = args[0], args[2]
+                if blocks and blocks[-1][2][-1].grid_key == point.grid_key:
+                    blocks[-1][0].append(index)
+                    blocks[-1][2].append(point)
+                else:
+                    blocks.append(
+                        ([index], spec.config, [point], self.profile_dir, self.fast)
+                    )
+
+            def finish_block(
+                indices: list[int],
+                results: list[SimResult],
+                elapsed: float,
+                pid: int,
+            ) -> None:
+                # Per-point compute time is attributed evenly across the
+                # block — the replicates ran interleaved, not in turn.
+                share = elapsed / len(indices)
+                for index, result in zip(indices, results):
+                    finish(index, result, share, pid)
+
+            if self.workers <= 1:
+                for args in blocks:
+                    finish_block(*_run_block(args))
+            else:
+                with Pool(self.workers) as pool:
+                    for indices, results, elapsed, pid in pool.imap_unordered(
+                        _run_block, blocks
+                    ):
+                        finish_block(indices, results, elapsed, pid)
+        elif pending:
             if self.workers <= 1:
                 for args in pending:
                     finish(*_run_point(args))

@@ -1,0 +1,41 @@
+"""Shared helpers of the columnar equivalence suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def assert_results_bit_identical(expected, actual, context=""):
+    """Field-by-field equality of two SimResults, NaN-tolerant.
+
+    Exact ``==`` on every float on purpose: the columnar engine's
+    contract is *bit*-identity with the serial simulator, not closeness.
+    """
+    assert actual.scheduler == expected.scheduler, context
+    assert actual.load == expected.load, context
+    assert actual.config == expected.config, context
+    for name in ("offered", "forwarded", "dropped", "shed"):
+        assert getattr(actual, name) == getattr(expected, name), (context, name)
+    for name in (
+        "throughput",
+        "mean_latency",
+        "std_latency",
+        "min_latency",
+        "max_latency",
+    ):
+        want, got = getattr(expected, name), getattr(actual, name)
+        assert got == want or (math.isnan(want) and math.isnan(got)), (
+            context,
+            name,
+            want,
+            got,
+        )
+    assert set(actual.percentiles) == set(expected.percentiles), context
+    for q, want in expected.percentiles.items():
+        got = actual.percentiles[q]
+        assert got == want or (math.isnan(want) and math.isnan(got)), (context, q)
+    assert (actual.service_counts is None) == (expected.service_counts is None), context
+    if expected.service_counts is not None:
+        assert np.array_equal(actual.service_counts, expected.service_counts), context

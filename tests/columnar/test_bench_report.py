@@ -1,0 +1,117 @@
+"""Columnar bench families: naming, schema, and the regression gate.
+
+Mirrors ``tests/fastpath/test_bench_report.py`` for the
+``columnar_*`` families: cells must carry the standard schema so they
+merge into ``BENCH_speed.json`` and flow through
+``tools/check_bench_regression.py``, whose fnmatch family selection is
+what CI leans on to gate the columnar job separately from the kernel
+job.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.columnar.bench import (
+    DEFAULT_COLUMNAR_SCHEDULERS,
+    columnar_family,
+    measure_columnar_cell,
+    run_columnar_suite,
+    scaled_slots,
+)
+from repro.columnar.kernels import columnar_schedulers
+from repro.fastpath.bench import REPORT_VERSION
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression", REPO / "tools" / "check_bench_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFamilyNaming:
+    def test_family_name_shape(self):
+        assert columnar_family("lcf_central_rr", 32) == "columnar_lcf_central_rr_r32"
+        assert columnar_family("islip", 8) == "columnar_islip_r8"
+
+    def test_default_schedulers_are_the_covered_set(self):
+        assert DEFAULT_COLUMNAR_SCHEDULERS == columnar_schedulers()
+
+
+class TestScaledSlots:
+    def test_full_budget_at_or_below_anchor(self):
+        assert scaled_slots(600, 16) == 600
+        assert scaled_slots(600, 64) == 600
+
+    def test_inverse_scaling_above_anchor(self):
+        assert scaled_slots(600, 128) == 300
+        assert scaled_slots(600, 256) == 150
+
+    def test_floor(self):
+        assert scaled_slots(600, 4096, floor=100) == 100
+
+
+class TestCellSchema:
+    def test_measured_cell_has_standard_schema(self):
+        cell = measure_columnar_cell(
+            "lcf_central_rr", 8, 4,
+            warmup_slots=10, measure_slots=40, repeats=1,
+        )
+        assert set(cell) == {
+            "reference_slots_per_sec", "fast_slots_per_sec", "speedup",
+        }
+        assert cell["reference_slots_per_sec"] > 0
+        assert cell["fast_slots_per_sec"] > 0
+        assert cell["speedup"] == pytest.approx(
+            cell["fast_slots_per_sec"] / cell["reference_slots_per_sec"], rel=1e-2
+        )
+
+    def test_suite_covers_every_family_and_width(self):
+        report = run_columnar_suite(
+            names=("islip",), replicates=(2,), sizes=(4, 8),
+            warmup_slots=10, measure_slots=30, repeats=1,
+        )
+        assert report["version"] == REPORT_VERSION
+        assert set(report["schedulers"]) == {"columnar_islip_r2"}
+        assert set(report["schedulers"]["columnar_islip_r2"]) == {"4", "8"}
+
+
+class TestGateSelection:
+    def test_family_selected_patterns(self):
+        checker = load_checker()
+        assert checker.family_selected("columnar_islip_r8", only=["columnar_*"])
+        assert not checker.family_selected("islip", only=["columnar_*"])
+        assert not checker.family_selected(
+            "columnar_islip_r8", exclude=["columnar_*"]
+        )
+        assert checker.family_selected("lcf_central_rr")
+        # Exact names still work as patterns.
+        assert checker.family_selected("islip", only=["islip"])
+
+    def test_default_floor_names_the_columnar_claim(self):
+        checker = load_checker()
+        floors = dict(checker.parse_floor(f) for f in checker.DEFAULT_FLOORS)
+        assert ("columnar_lcf_central_rr_r32", 64) in floors
+        assert floors[("columnar_lcf_central_rr_r32", 64)] >= 3.0
+
+    def test_committed_baseline_meets_the_columnar_floor(self):
+        baseline = json.loads((REPO / "BENCH_speed.json").read_text())
+        cell = baseline["schedulers"]["columnar_lcf_central_rr_r32"]["64"]
+        assert cell["speedup"] >= 3.0
+
+    def test_committed_baseline_covers_columnar_defaults(self):
+        from repro.columnar.bench import DEFAULT_COLUMNAR_SIZES, DEFAULT_REPLICATES
+
+        baseline = json.loads((REPO / "BENCH_speed.json").read_text())
+        for name in DEFAULT_COLUMNAR_SCHEDULERS:
+            for r in DEFAULT_REPLICATES:
+                family = baseline["schedulers"][columnar_family(name, r)]
+                for n in DEFAULT_COLUMNAR_SIZES:
+                    assert str(n) in family, (name, r, n)

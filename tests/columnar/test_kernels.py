@@ -1,0 +1,170 @@
+"""Batched kernels vs serial schedulers: schedules and state, bit for bit.
+
+Each columnar kernel claims that one ``schedule_batch`` call equals R
+independent serial ``schedule`` calls — same grants, same tie-breaks,
+same end-of-cycle round-robin/pointer state — over any request
+sequence. The hypothesis cases drive random multi-slot sequences at
+random widths; the word-boundary widths (63/64/65) and a wide case run
+as fixed seeds, the full-width sweep under ``-m slow``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.registry import make_scheduler
+from repro.columnar.bitpack import pack_requests, unpack_requests
+from repro.columnar.kernels import (
+    ColumnarISLIP,
+    ColumnarLCFCentral,
+    chain_table,
+    columnar_schedulers,
+    has_columnar_kernel,
+    make_columnar_kernel,
+)
+from repro.fastpath.bitops import word_count
+
+COVERED = columnar_schedulers()
+
+
+@st.composite
+def batch_runs(draw, min_n=1, max_n=8, max_r=5, max_len=8):
+    """A width, a replicate count, and a request-tensor sequence."""
+    n = draw(st.integers(min_n, max_n))
+    r = draw(st.integers(1, max_r))
+    length = draw(st.integers(1, max_len))
+    tensors = [
+        draw(arrays(np.bool_, (r, n, n), elements=st.booleans()))
+        for _ in range(length)
+    ]
+    return n, r, tensors
+
+
+def run_both(name, n, r, tensors):
+    """Drive the kernel and R serial schedulers over the same sequence."""
+    kernel = make_columnar_kernel(name, n, r)
+    serials = [make_scheduler(name, n) for _ in range(r)]
+    for requests in tensors:
+        requests_t = np.ascontiguousarray(requests.transpose(0, 2, 1))
+        before = requests_t.copy()
+        batch = kernel.schedule_batch(requests_t)
+        assert (requests_t == before).all(), "kernel mutated its input"
+        for rep in range(r):
+            expected = serials[rep].schedule(requests[rep])
+            assert np.array_equal(batch[rep], expected), (name, n, rep)
+    return kernel, serials
+
+
+def assert_state_matches(name, kernel, serials):
+    if isinstance(kernel, ColumnarLCFCentral):
+        for serial in serials:
+            assert kernel.rr_offsets == serial.rr_offsets
+    if isinstance(kernel, ColumnarISLIP):
+        grant, accept = kernel.pointers
+        for rep, serial in enumerate(serials):
+            ref_grant, ref_accept = serial.pointers
+            assert np.array_equal(grant[rep], ref_grant)
+            assert np.array_equal(accept[rep], ref_accept)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("name", COVERED)
+    @given(run=batch_runs())
+    @settings(max_examples=30, deadline=None)
+    def test_schedules_and_state_bit_identical(self, name, run):
+        n, r, tensors = run
+        kernel, serials = run_both(name, n, r, tensors)
+        assert_state_matches(name, kernel, serials)
+
+    @pytest.mark.parametrize("name", COVERED)
+    @pytest.mark.parametrize("n", [63, 64, 65])
+    def test_word_boundary_widths(self, name, n):
+        rng = np.random.default_rng(7 * n)
+        tensors = [rng.random((3, n, n)) < 0.4 for _ in range(4)]
+        kernel, serials = run_both(name, n, 3, tensors)
+        assert_state_matches(name, kernel, serials)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", COVERED)
+    def test_wide_switch_long_run(self, name):
+        n, r = 128, 4
+        rng = np.random.default_rng(1234)
+        tensors = [rng.random((r, n, n)) < d for d in (0.05, 0.3, 0.6, 0.9) for _ in range(3)]
+        kernel, serials = run_both(name, n, r, tensors)
+        assert_state_matches(name, kernel, serials)
+
+    @pytest.mark.parametrize("name", COVERED)
+    def test_reset_restores_power_on_state(self, name):
+        n, r = 6, 3
+        rng = np.random.default_rng(42)
+        tensors = [rng.random((r, n, n)) < 0.5 for _ in range(5)]
+        kernel, _ = run_both(name, n, r, tensors)
+        kernel.reset()
+        # After reset the kernel replays a fresh serial scheduler exactly.
+        run_tensors = [rng.random((r, n, n)) < 0.5 for _ in range(3)]
+        serials = [make_scheduler(name, n) for _ in range(r)]
+        for requests in run_tensors:
+            batch = kernel.schedule_batch(
+                np.ascontiguousarray(requests.transpose(0, 2, 1))
+            )
+            for rep in range(r):
+                assert np.array_equal(batch[rep], serials[rep].schedule(requests[rep]))
+
+
+class TestRegistry:
+    def test_covered_set(self):
+        assert set(COVERED) == {"lcf_central", "lcf_central_rr", "islip"}
+        for name in COVERED:
+            assert has_columnar_kernel(name)
+        assert not has_columnar_kernel("pim")
+        assert not has_columnar_kernel("wfront")
+
+    def test_uncovered_name_raises(self):
+        with pytest.raises(KeyError, match="no columnar kernel"):
+            make_columnar_kernel("pim", 4, 2)
+
+    def test_islip_iterations_forwarded(self):
+        kernel = make_columnar_kernel("islip", 4, 2, iterations=1)
+        assert kernel.iterations == 1
+        serials = [make_scheduler("islip", 4, iterations=1) for _ in range(2)]
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            requests = rng.random((2, 4, 4)) < 0.7
+            batch = kernel.schedule_batch(
+                np.ascontiguousarray(requests.transpose(0, 2, 1))
+            )
+            for rep in range(2):
+                assert np.array_equal(batch[rep], serials[rep].schedule(requests[rep]))
+
+    def test_chain_table_is_shared_and_frozen(self):
+        table = chain_table(5)
+        assert table is chain_table(5)
+        assert not table.flags.writeable
+        assert table[2, 2] == 0 and table[2, 3] == 1 and table[2, 1] == 4
+
+
+class TestBitpack:
+    @given(
+        st.integers(1, 70).flatmap(
+            lambda n: arrays(np.bool_, (2, n, n), elements=st.booleans())
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_pack_unpack_roundtrip(self, requests):
+        n = requests.shape[1]
+        packed = pack_requests(requests)
+        assert packed.shape == (2, n, word_count(n))
+        assert packed.dtype == np.uint64
+        assert np.array_equal(unpack_requests(packed, n), requests)
+
+    def test_word_layout_matches_fastpath_bit_convention(self):
+        # bit j of input i lives at words[j >> 6], bit (j & 63) — the
+        # repro.fastpath.bitops LSB-first convention.
+        n = 66
+        requests = np.zeros((1, n, n), dtype=bool)
+        requests[0, 2, 65] = True
+        packed = pack_requests(requests)
+        assert packed[0, 2, 1] == np.uint64(1) << np.uint64(1)
+        assert packed[0, 2, 0] == 0

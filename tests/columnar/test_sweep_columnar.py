@@ -1,0 +1,115 @@
+"""Sweep columnar mode: block execution is invisible to the results.
+
+``ParallelRunner(columnar=True)`` regroups consecutive replicates of a
+cell into one ``run_replicates`` block. Everything downstream — merged
+statistics, per-replicate shards, cache entries — must be exactly what
+the per-point path produces, because the cache key deliberately ignores
+the execution strategy.
+"""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sweep import ParallelRunner, ResultCache, SweepSpec, point_key
+from tests.columnar.conftest import assert_results_bit_identical
+
+
+def quick_spec(**kw):
+    defaults = dict(
+        schedulers=("lcf_central_rr", "islip"),
+        loads=(0.4, 0.9),
+        replicates=3,
+        config=SimConfig(
+            n_ports=8, warmup_slots=40, measure_slots=200, seed=3
+        ),
+    )
+    defaults.update(kw)
+    return SweepSpec(**defaults)
+
+
+class TestBlockEquality:
+    def test_columnar_run_matches_per_point_run(self):
+        spec = quick_spec()
+        per_point = ParallelRunner(workers=1).run(spec)
+        blocked = ParallelRunner(workers=1, columnar=True).run(spec)
+        for name, load in spec.grid_keys():
+            want = per_point.replicates(name, load)
+            got = blocked.replicates(name, load)
+            assert len(got) == len(want)
+            for w, g in zip(want, got):
+                assert_results_bit_identical(w, g, (name, load))
+            merged_want = per_point.merged[(name, load)]
+            merged_got = blocked.merged[(name, load)]
+            assert merged_got.mean_latency == merged_want.mean_latency
+            assert merged_got.std_latency == merged_want.std_latency
+            assert merged_got.forwarded == merged_want.forwarded
+
+    def test_uncovered_schedulers_ride_the_serial_fallback(self):
+        # A grid mixing covered and uncovered schedulers still works:
+        # blocks fall back internally per run_replicates.
+        spec = quick_spec(schedulers=("lcf_central", "pim"), loads=(0.7,))
+        per_point = ParallelRunner(workers=1).run(spec)
+        blocked = ParallelRunner(workers=1, columnar=True).run(spec)
+        for name, load in spec.grid_keys():
+            for w, g in zip(
+                per_point.replicates(name, load), blocked.replicates(name, load)
+            ):
+                assert_results_bit_identical(w, g, (name, load))
+
+    def test_multiprocess_columnar_matches_serial_columnar(self):
+        spec = quick_spec(loads=(0.9,))
+        one = ParallelRunner(workers=1, columnar=True).run(spec)
+        two = ParallelRunner(workers=2, columnar=True).run(spec)
+        for name, load in spec.grid_keys():
+            for w, g in zip(
+                one.replicates(name, load), two.replicates(name, load)
+            ):
+                assert_results_bit_identical(w, g, (name, load))
+
+
+class TestCacheSharing:
+    def test_cache_keys_ignore_execution_strategy(self, tmp_path):
+        # A columnar sweep fully warms the cache for a per-point sweep
+        # (and vice versa): second run computes nothing.
+        spec = quick_spec(schedulers=("lcf_central_rr",), loads=(0.9,))
+        cache = ResultCache(tmp_path / "cache")
+        blocked = ParallelRunner(workers=1, columnar=True, cache=cache).run(spec)
+        assert all(not o.cached for o in blocked.outcomes)
+        per_point = ParallelRunner(workers=1, cache=cache).run(spec)
+        assert all(o.cached for o in per_point.outcomes)
+        for w, g in zip(
+            blocked.replicates("lcf_central_rr", 0.9),
+            per_point.replicates("lcf_central_rr", 0.9),
+        ):
+            assert_results_bit_identical(w, g, "cache round-trip")
+
+    def test_partial_miss_runs_only_missing_replicates(self, tmp_path):
+        spec = quick_spec(schedulers=("islip",), loads=(0.9,), replicates=4)
+        cache = ResultCache(tmp_path / "cache")
+        # Warm replicate seeds 0 and 2 through a narrower spec run.
+        points = spec.points()
+        from repro.sim.simulator import run_simulation
+
+        for p in (points[0], points[2]):
+            cache.put(
+                point_key(spec.config, p),
+                run_simulation(spec.point_config(p), p.scheduler, p.load),
+            )
+        blocked = ParallelRunner(workers=1, columnar=True, cache=cache).run(spec)
+        cached_flags = [o.cached for o in blocked.outcomes]
+        assert cached_flags == [True, False, True, False]
+        per_point = ParallelRunner(workers=1).run(spec)
+        for w, g in zip(
+            per_point.replicates("islip", 0.9), blocked.replicates("islip", 0.9)
+        ):
+            assert_results_bit_identical(w, g, "partial miss")
+
+
+class TestGuards:
+    def test_checkpointing_and_columnar_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="columnar"):
+            ParallelRunner(
+                cache=ResultCache(tmp_path / "cache"),
+                checkpoint_every=100,
+                columnar=True,
+            )

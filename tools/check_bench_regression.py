@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from fnmatch import fnmatchcase
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -36,7 +37,28 @@ from repro.fastpath.bench import (  # noqa: E402
 )
 
 #: Absolute speedup floors the repo commits to (``name:n:floor``).
-DEFAULT_FLOORS = ("lcf_central_rr:16:3.0",)
+#: The columnar floor is the replicate-batching acceptance bar: the
+#: engine must hold >= 3x over R=32 fast serial runs at 64 ports.
+DEFAULT_FLOORS = (
+    "lcf_central_rr:16:3.0",
+    "columnar_lcf_central_rr_r32:64:3.0",
+)
+
+
+def family_selected(
+    name: str,
+    only: tuple[str, ...] | None = None,
+    exclude: tuple[str, ...] = (),
+) -> bool:
+    """Whether a family name passes the ``--only``/``--exclude`` cut.
+
+    Entries are shell-style patterns (``fnmatch``), so family *groups*
+    select in one flag — ``--exclude 'columnar_*'`` drops every
+    replicate-batching family. A literal name matches itself.
+    """
+    if any(fnmatchcase(name, pattern) for pattern in exclude):
+        return False
+    return only is None or any(fnmatchcase(name, pattern) for pattern in only)
 
 
 def filter_families(
@@ -44,20 +66,21 @@ def filter_families(
     only: tuple[str, ...] | None = None,
     exclude: tuple[str, ...] = (),
 ) -> dict:
-    """Keep only the named benchmark families (top-level ``schedulers``
-    keys — registry scheduler names or composite families like
-    ``fabric_clos``). ``only=None`` keeps everything not excluded.
+    """Keep only the selected benchmark families (top-level
+    ``schedulers`` keys — registry scheduler names or composite
+    families like ``fabric_clos``), matched as ``fnmatch`` patterns.
+    ``only=None`` keeps everything not excluded.
 
     CI jobs measure disjoint family subsets (perf-smoke re-measures the
-    scheduler kernels and excludes the fabric family; the fabric job
-    measures only it), so both reports must be cut to the same families
-    before comparing — otherwise unmeasured families read as "missing
-    from current".
+    scheduler kernels and excludes the fabric and columnar families;
+    the fabric and columnar jobs measure only theirs), so both reports
+    must be cut to the same families before comparing — otherwise
+    unmeasured families read as "missing from current".
     """
     schedulers = {
         name: cells
         for name, cells in report.get("schedulers", {}).items()
-        if (only is None or name in only) and name not in exclude
+        if family_selected(name, only, exclude)
     }
     return {**report, "schedulers": schedulers}
 
@@ -128,15 +151,17 @@ def main(argv: list[str] | None = None) -> int:
         action="append",
         default=None,
         metavar="FAMILY",
-        help="check only this benchmark family (repeatable) — for runs "
-        "that measured a family subset of the baseline",
+        help="check only matching benchmark families (repeatable; "
+        "fnmatch pattern, e.g. 'columnar_*') — for runs that measured "
+        "a family subset of the baseline",
     )
     parser.add_argument(
         "--exclude",
         action="append",
         default=[],
         metavar="FAMILY",
-        help="skip this benchmark family (repeatable)",
+        help="skip matching benchmark families (repeatable; fnmatch "
+        "pattern)",
     )
     args = parser.parse_args(argv)
     floors = dict(
@@ -151,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
     floors = {
         (name, n): f
         for (name, n), f in floors.items()
-        if (only is None or name in only) and name not in exclude
+        if family_selected(name, only, exclude)
     }
 
     baseline = prune_report(
